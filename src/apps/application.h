@@ -1,0 +1,80 @@
+// Synthetic benchmark applications (paper Table 2).
+//
+// Four GUI applications stand in for the paper's user-study programs. They are not pixel
+// replicas; what matters is that each reproduces its original's *display I/O class*:
+//
+//   ImageEditorApp ("Photoshop")  — photographic canvas, filter regions, brush dabs:
+//                                   SET-heavy, largest incompressible updates.
+//   BrowserApp     ("Netscape")   — page loads mixing text with inline images, scrolling:
+//                                   large mixed updates, moderate compressibility.
+//   DocEditorApp   ("FrameMaker") — character-at-a-time typing, line wraps, page scrolls:
+//                                   tiny bicolor updates, heavy COPY from scrolling.
+//   PimApp         ("PIM")        — mail/calendar forms, list navigation, pane switches:
+//                                   small text/fill updates.
+//
+// Each application draws through a ServerSession, so every experiment exercises the real
+// encoder, transport and console decode paths.
+
+#ifndef SRC_APPS_APPLICATION_H_
+#define SRC_APPS_APPLICATION_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/apps/font.h"
+#include "src/server/session.h"
+#include "src/util/rng.h"
+
+namespace slim {
+
+enum class AppKind {
+  kPhotoshop = 0,
+  kNetscape = 1,
+  kFrameMaker = 2,
+  kPim = 3,
+};
+constexpr int kAppKindCount = 4;
+
+const char* AppKindName(AppKind kind);
+
+class Application {
+ public:
+  Application(ServerSession* session, Rng rng);
+  virtual ~Application() = default;
+
+  virtual AppKind kind() const = 0;
+
+  // Paints the initial screen (not attributed to any input event).
+  virtual void Start() = 0;
+
+  virtual void OnKey(uint32_t keycode) = 0;
+  virtual void OnClick(int32_t x, int32_t y) = 0;
+
+  // Routes the session's input messages into OnKey/OnClick and flushes after each event.
+  void BindInput();
+
+ protected:
+  ServerSession& session() { return *session_; }
+  Rng& rng() { return rng_; }
+  const Font& font() const { return *font_; }
+
+  // Drawing helpers shared by the apps.
+  void DrawTextLine(int32_t x, int32_t y, std::string_view text, Pixel fg, Pixel bg);
+  void DrawPanel(const Rect& r, Pixel fill, Pixel border);
+
+  // Schedules deferred drawing (progressive rendering: images painting as they "download").
+  // The callback runs on the session's simulator and flushes afterwards.
+  void Defer(SimDuration delay, std::function<void()> draw);
+
+ private:
+  ServerSession* session_;
+  Rng rng_;
+  const Font* font_;
+};
+
+std::unique_ptr<Application> MakeApplication(AppKind kind, ServerSession* session,
+                                             uint64_t seed);
+
+}  // namespace slim
+
+#endif  // SRC_APPS_APPLICATION_H_

@@ -1,0 +1,515 @@
+#include "src/apps/benchmark_apps.h"
+
+#include <algorithm>
+
+#include "src/apps/content.h"
+#include "src/util/check.h"
+
+namespace slim {
+
+const char* AppKindName(AppKind kind) {
+  switch (kind) {
+    case AppKind::kPhotoshop:
+      return "Photoshop";
+    case AppKind::kNetscape:
+      return "Netscape";
+    case AppKind::kFrameMaker:
+      return "FrameMaker";
+    case AppKind::kPim:
+      return "PIM";
+  }
+  return "?";
+}
+
+Application::Application(ServerSession* session, Rng rng)
+    : session_(session), rng_(rng), font_(&DefaultFont()) {
+  SLIM_CHECK(session != nullptr);
+}
+
+void Application::BindInput() {
+  session_->set_input_handler([this](const Message& msg) {
+    if (const auto* key = std::get_if<KeyEventMsg>(&msg.body)) {
+      if (key->pressed) {
+        OnKey(key->keycode);
+        session_->Flush();
+      }
+    } else if (const auto* mouse = std::get_if<MouseEventMsg>(&msg.body)) {
+      if (!mouse->is_motion && mouse->buttons != 0) {
+        OnClick(mouse->x, mouse->y);
+        session_->Flush();
+      }
+    }
+  });
+}
+
+void Application::Defer(SimDuration delay, std::function<void()> draw) {
+  session_->simulator()->Schedule(delay, [this, draw = std::move(draw)]() {
+    draw();
+    session_->Flush();
+  });
+}
+
+void Application::DrawTextLine(int32_t x, int32_t y, std::string_view text, Pixel fg,
+                               Pixel bg) {
+  const auto glyphs = font_->Shape(text);
+  session_->DrawGlyphs(x, y, glyphs, fg, bg);
+}
+
+void Application::DrawPanel(const Rect& r, Pixel fill, Pixel border) {
+  session_->FillRect(r, border);
+  session_->FillRect(Rect{r.x + 1, r.y + 1, r.w - 2, r.h - 2}, fill);
+}
+
+std::unique_ptr<Application> MakeApplication(AppKind kind, ServerSession* session,
+                                             uint64_t seed) {
+  Rng rng(seed);
+  switch (kind) {
+    case AppKind::kPhotoshop:
+      return std::make_unique<ImageEditorApp>(session, rng);
+    case AppKind::kNetscape:
+      return std::make_unique<BrowserApp>(session, rng);
+    case AppKind::kFrameMaker:
+      return std::make_unique<DocEditorApp>(session, rng);
+    case AppKind::kPim:
+      return std::make_unique<PimApp>(session, rng);
+  }
+  SLIM_CHECK(false);
+}
+
+// ---------------------------------------------------------------------------
+// ImageEditorApp ("Photoshop")
+// ---------------------------------------------------------------------------
+
+ImageEditorApp::ImageEditorApp(ServerSession* session, Rng rng) : Application(session, rng) {
+  const Rect bounds = this->session().framebuffer().bounds();
+  canvas_ = Rect{48, 72, std::min(900, bounds.w - 220), std::min(640, bounds.h - 140)};
+  brush_x_ = canvas_.x + canvas_.w / 2;
+  brush_y_ = canvas_.y + canvas_.h / 2;
+}
+
+void ImageEditorApp::Start() {
+  auto& s = session();
+  s.FillRect(s.framebuffer().bounds(), UiBackground());
+  // Menu bar and tool palette.
+  DrawPanel(Rect{0, 0, s.framebuffer().bounds().w, 28}, UiPanel(), UiAccent());
+  DrawTextLine(8, 8, "file edit image layer select filter view window", UiText(), UiPanel());
+  DrawPanel(Rect{8, 48, 32, 420}, UiPanel(), UiAccent());
+  // The photograph being edited.
+  const auto photo = MakePhotoBlock(&rng(), canvas_.w, canvas_.h);
+  s.PutImage(canvas_, photo);
+  s.Flush();
+}
+
+void ImageEditorApp::OnKey(uint32_t keycode) {
+  auto& s = session();
+  if (keycode % 11 == 0) {
+    // Tool switch: highlight a palette slot.
+    const int slot = static_cast<int>(keycode % 12);
+    DrawPanel(Rect{10, 50 + slot * 34, 28, 30}, UiAccent(), UiText());
+    return;
+  }
+  // Brush dab: small photographic patch at a wandering cursor.
+  const int32_t size = 16 + static_cast<int32_t>(rng().NextBelow(20));
+  brush_x_ = std::clamp(brush_x_ + static_cast<int32_t>(rng().NextInRange(-40, 40)),
+                        canvas_.x, canvas_.right() - size);
+  brush_y_ = std::clamp(brush_y_ + static_cast<int32_t>(rng().NextInRange(-40, 40)),
+                        canvas_.y, canvas_.bottom() - size);
+  const Rect dab{brush_x_, brush_y_, size, size};
+  s.PutImage(dab, MakePhotoBlock(&rng(), dab.w, dab.h));
+}
+
+void ImageEditorApp::OnClick(int32_t x, int32_t y) {
+  auto& s = session();
+  // Users aim at the canvas: clicks that the uniform model lands elsewhere mostly get
+  // folded back onto it (tool palettes and dialogs take the remainder).
+  const bool canvas_click =
+      !panel_open_ && (canvas_.Contains(Point{x, y}) || rng().NextBool(0.75));
+  if (canvas_click) {
+    x = std::clamp(x, canvas_.x, canvas_.right() - 1);
+    y = std::clamp(y, canvas_.y, canvas_.bottom() - 1);
+    // Apply a filter to a selection around the click. Sizes are heavy-tailed: most
+    // selections are modest, some span much of the canvas (Figure 3's Photoshop tail).
+    const double scale = rng().NextLogNormal(5.3, 1.0);  // median ~200 px edge
+    const int32_t w = std::clamp(static_cast<int32_t>(scale), 24, canvas_.w);
+    const int32_t h = std::clamp(static_cast<int32_t>(scale * (0.7 + rng().NextDouble())), 24,
+                                 canvas_.h);
+    const Rect sel{std::clamp(x - w / 2, canvas_.x, canvas_.right() - w),
+                   std::clamp(y - h / 2, canvas_.y, canvas_.bottom() - h), w, h};
+    // Filter output statistics vary: most keep photographic detail, posterize/threshold
+    // passes flatten toward a palette, and levels clamps can saturate a region solid.
+    const double filter_kind = rng().NextDouble();
+    if (filter_kind < 0.60) {
+      s.PutImage(sel, MakePhotoBlock(&rng(), sel.w, sel.h));
+    } else if (filter_kind < 0.85) {
+      s.PutImage(sel, MakeArtBlock(&rng(), sel.w, sel.h));
+    } else {
+      s.FillRect(sel, MakePixel(static_cast<uint8_t>(rng().NextBelow(256)),
+                                static_cast<uint8_t>(rng().NextBelow(256)),
+                                static_cast<uint8_t>(rng().NextBelow(256))));
+    }
+    return;
+  }
+  // Toggle a dialog (levels/curves) over the canvas.
+  const Rect dialog{canvas_.x + 120, canvas_.y + 80, 360, 240};
+  if (!panel_open_) {
+    DrawPanel(dialog, UiPanel(), UiText());
+    for (int i = 0; i < 6; ++i) {
+      DrawTextLine(dialog.x + 12, dialog.y + 16 + i * font().line_height(),
+                   MakeTextLine(&rng(), 38), UiText(), UiPanel());
+    }
+    panel_open_ = true;
+  } else {
+    // Closing the dialog re-exposes the photograph beneath it.
+    std::vector<Pixel> behind;
+    session().framebuffer().ReadPixels(dialog, &behind);
+    s.PutImage(dialog, MakePhotoBlock(&rng(), dialog.w, dialog.h));
+    panel_open_ = false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BrowserApp ("Netscape")
+// ---------------------------------------------------------------------------
+
+BrowserApp::BrowserApp(ServerSession* session, Rng rng) : Application(session, rng) {
+  const Rect bounds = this->session().framebuffer().bounds();
+  view_ = Rect{24, 96, std::min(980, bounds.w - 48), std::min(720, bounds.h - 140)};
+}
+
+void BrowserApp::Start() {
+  auto& s = session();
+  s.FillRect(s.framebuffer().bounds(), UiBackground());
+  DrawPanel(Rect{0, 0, s.framebuffer().bounds().w, 64}, UiPanel(), UiAccent());
+  DrawTextLine(8, 8, "back forward reload home search print security stop", UiText(),
+               UiPanel());
+  DrawTextLine(8, 34, "location: http://www.example.edu/research/slim.html", UiText(),
+               UiPanel());
+  RenderPage(/*full=*/true);
+  s.Flush();
+}
+
+void BrowserApp::RenderPage(bool full) {
+  auto& s = session();
+  const Rect target =
+      full ? view_ : Rect{view_.x, view_.y, view_.w, view_.h / 2};
+  s.FillRect(target, kWhite);
+  int32_t y = target.y + 8;
+  // Headline.
+  DrawTextLine(target.x + 12, y, MakeTextLine(&rng(), 40), UiAccent(), kWhite);
+  y += font().line_height() * 2;
+  // Images share one "download connection": their progressive strips paint sequentially.
+  SimDuration paint_at =
+      static_cast<SimDuration>(rng().NextExponential(200.0) * kMillisecond);
+  // Body: paragraphs interleaved with images.
+  while (y + font().line_height() < target.bottom()) {
+    if (rng().NextBool(0.40)) {
+      // Inline image (photograph or artwork), 1999-sized.
+      const int32_t iw = 120 + static_cast<int32_t>(rng().NextBelow(280));
+      const int32_t ih = std::min<int32_t>(
+          90 + static_cast<int32_t>(rng().NextBelow(180)), target.bottom() - y - 4);
+      if (ih < 40) {
+        break;
+      }
+      const Rect img{target.x + 16 + static_cast<int32_t>(rng().NextBelow(60)), y, iw, ih};
+      // Progressive rendering: the image paints in scanline strips as its data "arrives"
+      // from the network, exactly how 1999 Netscape displayed JPEGs. This is what keeps
+      // individual protocol bursts small even when a whole page is large (Figure 6).
+      auto pixels = std::make_shared<std::vector<Pixel>>(
+          rng().NextBool(0.7) ? MakePhotoBlock(&rng(), iw, ih)
+                              : MakeArtBlock(&rng(), iw, ih));
+      const int32_t strip_rows = std::max<int32_t>(1, 3600 / iw);
+      for (int32_t row = 0; row < ih; row += strip_rows) {
+        const int32_t rows = std::min(strip_rows, ih - row);
+        Defer(paint_at, [this, img, pixels, iw, row, rows]() {
+          std::vector<Pixel> strip(pixels->begin() + static_cast<size_t>(row) * iw,
+                                   pixels->begin() + static_cast<size_t>(row + rows) * iw);
+          session().PutImage(Rect{img.x, img.y + row, iw, rows}, strip);
+        });
+        paint_at +=
+            static_cast<SimDuration>((50.0 + rng().NextExponential(55.0)) * kMillisecond);
+      }
+      paint_at += static_cast<SimDuration>(rng().NextExponential(120.0) * kMillisecond);
+      y += ih + 10;
+    } else {
+      const int lines = 1 + static_cast<int>(rng().NextBelow(5));
+      for (int i = 0; i < lines && y + font().line_height() < target.bottom(); ++i) {
+        DrawTextLine(target.x + 12, y, MakeTextLine(&rng(), (target.w - 24) / 8), UiText(),
+                     kWhite);
+        y += font().line_height();
+      }
+      y += 6;
+    }
+  }
+}
+
+void BrowserApp::RenderStrip(const Rect& strip) {
+  auto& s = session();
+  s.FillRect(strip, kWhite);
+  int32_t y = strip.y;
+  while (y + font().line_height() <= strip.bottom()) {
+    if (rng().NextBool(0.15)) {
+      // Image slices scrolling into view are already decoded; they still paint in pieces.
+      const int32_t ih = std::min<int32_t>(strip.bottom() - y,
+                                           40 + static_cast<int32_t>(rng().NextBelow(60)));
+      const int32_t iw = 120 + static_cast<int32_t>(rng().NextBelow(240));
+      const Rect img{strip.x + 20, y, iw, ih};
+      auto pixels = std::make_shared<std::vector<Pixel>>(MakePhotoBlock(&rng(), iw, ih));
+      const int32_t strip_rows = std::max<int32_t>(1, 3600 / iw);
+      SimDuration at = Milliseconds(10);
+      for (int32_t row = 0; row < ih; row += strip_rows) {
+        const int32_t rows = std::min(strip_rows, ih - row);
+        Defer(at, [this, img, pixels, iw, row, rows]() {
+          std::vector<Pixel> piece(pixels->begin() + static_cast<size_t>(row) * iw,
+                                   pixels->begin() + static_cast<size_t>(row + rows) * iw);
+          session().PutImage(Rect{img.x, img.y + row, iw, rows}, piece);
+        });
+        at += Milliseconds(60);
+      }
+      y += ih;
+    } else {
+      DrawTextLine(strip.x + 12, y, MakeTextLine(&rng(), (strip.w - 24) / 8), UiText(),
+                   kWhite);
+      y += font().line_height();
+    }
+  }
+}
+
+void BrowserApp::OnKey(uint32_t keycode) {
+  auto& s = session();
+  if (keycode % 6 != 0) {
+    // Typing into the location bar or a form field: one glyph.
+    const char c = static_cast<char>('a' + keycode % 26);
+    const int32_t slot = 88 + static_cast<int32_t>(keycode % 48) * 8;
+    DrawTextLine(slot, 34, std::string_view(&c, 1), UiText(), UiPanel());
+    return;
+  }
+  // Scroll down three text lines: COPY the view up, render the exposed strip.
+  const int32_t dy = font().line_height() * 3;
+  s.CopyArea(view_.x, view_.y + dy, Rect{view_.x, view_.y, view_.w, view_.h - dy});
+  RenderStrip(Rect{view_.x, view_.bottom() - dy, view_.w, dy});
+  scroll_row_ += dy;
+}
+
+void BrowserApp::OnClick(int32_t x, int32_t y) {
+  (void)x;
+  (void)y;
+  const double kind = rng().NextDouble();
+  if (kind < 0.55) {
+    RenderPage(/*full=*/true);  // followed a link
+    scroll_row_ = 0;
+  } else if (kind < 0.80) {
+    RenderPage(/*full=*/false);  // in-page update (frame, image swap)
+  } else {
+    // Button highlight in the chrome.
+    DrawPanel(Rect{8 + static_cast<int32_t>(rng().NextBelow(8)) * 56, 4, 52, 20}, UiAccent(),
+              UiText());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DocEditorApp ("FrameMaker")
+// ---------------------------------------------------------------------------
+
+DocEditorApp::DocEditorApp(ServerSession* session, Rng rng) : Application(session, rng) {
+  const Rect bounds = this->session().framebuffer().bounds();
+  page_ = Rect{140, 80, std::min(860, bounds.w - 280), std::min(760, bounds.h - 160)};
+  cursor_x_ = page_.x + 24;
+  cursor_y_ = page_.y + 24;
+}
+
+void DocEditorApp::Start() {
+  auto& s = session();
+  s.FillRect(s.framebuffer().bounds(), UiBackground());
+  DrawPanel(Rect{0, 0, s.framebuffer().bounds().w, 30}, UiPanel(), UiAccent());
+  DrawTextLine(8, 9, "file edit format view special graphics table", UiText(), UiPanel());
+  // Ruler.
+  DrawPanel(Rect{page_.x, 44, page_.w, 18}, UiPanel(), UiText());
+  // The page.
+  DrawPanel(page_, kWhite, UiText());
+  // Some existing document content.
+  int32_t y = page_.y + 24;
+  for (int line = 0; line < 8; ++line) {
+    DrawTextLine(page_.x + 24, y, MakeTextLine(&rng(), (page_.w - 48) / 8), UiText(), kWhite);
+    y += font().line_height();
+  }
+  cursor_y_ = y;
+  s.Flush();
+}
+
+void DocEditorApp::NewLine() {
+  cursor_x_ = page_.x + 24;
+  cursor_y_ += font().line_height();
+  if (cursor_y_ + font().line_height() > page_.bottom() - 16) {
+    // Scroll the page body up one line.
+    auto& s = session();
+    const int32_t dy = font().line_height();
+    const Rect body{page_.x + 2, page_.y + 2, page_.w - 4, page_.h - 4};
+    s.CopyArea(body.x, body.y + dy, Rect{body.x, body.y, body.w, body.h - dy});
+    s.FillRect(Rect{body.x, body.bottom() - dy, body.w, dy}, kWhite);
+    cursor_y_ -= dy;
+  }
+}
+
+void DocEditorApp::OnKey(uint32_t keycode) {
+  ++chars_typed_;
+  if (keycode % 9 == 0 || cursor_x_ + font().char_width() > page_.right() - 24) {
+    NewLine();
+    return;
+  }
+  if (keycode % 23 == 1) {
+    // Style/zoom change: the visible half of the page repaints (bicolor text, cheap for
+    // SLIM's BITMAP but a large pixel count).
+    auto& s = session();
+    const Rect half{page_.x + 2, page_.y + 2, page_.w - 4, page_.h / 2};
+    s.FillRect(half, kWhite);
+    for (int i = 0; i < half.h / font().line_height() - 1; ++i) {
+      DrawTextLine(half.x + 22, half.y + 8 + i * font().line_height(),
+                   MakeTextLine(&rng(), (half.w - 44) / 8), UiText(), kWhite);
+    }
+    return;
+  }
+  const char c = static_cast<char>('a' + keycode % 26);
+  DrawTextLine(cursor_x_, cursor_y_, std::string_view(&c, 1), UiText(), kWhite);
+  cursor_x_ += font().char_width();
+  if (chars_typed_ % 96 == 0) {
+    // Paragraph reflow: repaint a few lines.
+    auto& s = session();
+    const Rect para{page_.x + 24, std::max(page_.y + 24, cursor_y_ - 3 * font().line_height()),
+                    page_.w - 48, 4 * font().line_height()};
+    s.FillRect(para, kWhite);
+    for (int i = 0; i < 4; ++i) {
+      DrawTextLine(para.x, para.y + i * font().line_height(),
+                   MakeTextLine(&rng(), para.w / 8), UiText(), kWhite);
+    }
+  }
+}
+
+void DocEditorApp::OnClick(int32_t x, int32_t y) {
+  auto& s = session();
+  if (y < 30 || menu_open_) {
+    const Rect menu{60, 30, 180, 220};
+    if (!menu_open_) {
+      DrawPanel(menu, UiPanel(), UiText());
+      for (int i = 0; i < 12; ++i) {
+        DrawTextLine(menu.x + 8, menu.y + 6 + i * font().line_height(),
+                     MakeTextLine(&rng(), 20), UiText(), UiPanel());
+      }
+      menu_open_ = true;
+    } else {
+      // Close: re-expose what the menu covered (background + page corner + text).
+      s.FillRect(menu, UiBackground());
+      const Rect page_part = Intersect(menu, page_);
+      if (!page_part.empty()) {
+        s.FillRect(page_part, kWhite);
+      }
+      menu_open_ = false;
+    }
+    return;
+  }
+  // Reposition the insertion point: the affected line repaints with the new caret.
+  if (page_.Contains(Point{x, y})) {
+    cursor_x_ = std::clamp(x, page_.x + 24, page_.right() - 32);
+    cursor_y_ = std::clamp(y, page_.y + 24, page_.bottom() - 32);
+    const Rect line{page_.x + 2, cursor_y_ - 1, page_.w - 4, font().line_height()};
+    s.FillRect(line, kWhite);
+    DrawTextLine(line.x + 22, cursor_y_, MakeTextLine(&rng(), (line.w - 44) / 8), UiText(),
+                 kWhite);
+    s.FillRect(Rect{cursor_x_, cursor_y_, 2, font().char_height()}, UiText());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PimApp
+// ---------------------------------------------------------------------------
+
+PimApp::PimApp(ServerSession* session, Rng rng) : Application(session, rng) {
+  const Rect bounds = this->session().framebuffer().bounds();
+  list_ = Rect{200, 60, std::min(560, bounds.w - 420), 380};
+  preview_ = Rect{200, 460, std::min(860, bounds.w - 280), std::min(420, bounds.h - 520)};
+  compose_x_ = preview_.x + 8;
+}
+
+void PimApp::RenderList() {
+  auto& s = session();
+  DrawPanel(list_, kWhite, UiText());
+  for (int i = 0; i < 20; ++i) {
+    const int32_t y = list_.y + 6 + i * font().line_height();
+    if (y + font().line_height() > list_.bottom()) {
+      break;
+    }
+    const Pixel bg = (i == selected_) ? UiAccent() : kWhite;
+    const Pixel fg = (i == selected_) ? kWhite : UiText();
+    s.FillRect(Rect{list_.x + 2, y - 1, list_.w - 4, font().line_height()}, bg);
+    DrawTextLine(list_.x + 8, y, MakeTextLine(&rng(), (list_.w - 16) / 8), fg, bg);
+  }
+}
+
+void PimApp::RenderPreview() {
+  DrawPanel(preview_, kWhite, UiText());
+  const int lines = std::min(18, (preview_.h - 12) / font().line_height());
+  for (int i = 0; i < lines; ++i) {
+    DrawTextLine(preview_.x + 8, preview_.y + 6 + i * font().line_height(),
+                 MakeTextLine(&rng(), (preview_.w - 16) / 8), UiText(), kWhite);
+  }
+}
+
+void PimApp::Start() {
+  auto& s = session();
+  s.FillRect(s.framebuffer().bounds(), UiBackground());
+  DrawPanel(Rect{0, 0, s.framebuffer().bounds().w, 26}, UiPanel(), UiAccent());
+  DrawTextLine(8, 7, "mailbox message calendar compose reply forward delete", UiText(),
+               UiPanel());
+  // Folder list.
+  DrawPanel(Rect{24, 60, 150, 700}, UiPanel(), UiText());
+  for (int i = 0; i < 14; ++i) {
+    DrawTextLine(32, 68 + i * font().line_height() * 2, MakeTextLine(&rng(), 14), UiText(),
+                 UiPanel());
+  }
+  RenderList();
+  RenderPreview();
+  s.Flush();
+}
+
+void PimApp::OnKey(uint32_t keycode) {
+  if (keycode % 7 == 0) {
+    auto& s = session();
+    // Arrow navigation: move the selection bar (two rows repaint).
+    const int old = selected_;
+    selected_ = (selected_ + 1) % 20;
+    for (const int row : {old, selected_}) {
+      const int32_t y = list_.y + 6 + row * font().line_height();
+      if (y + font().line_height() > list_.bottom()) {
+        continue;
+      }
+      const Pixel bg = (row == selected_) ? UiAccent() : kWhite;
+      const Pixel fg = (row == selected_) ? kWhite : UiText();
+      s.FillRect(Rect{list_.x + 2, y - 1, list_.w - 4, font().line_height()}, bg);
+      DrawTextLine(list_.x + 8, y, MakeTextLine(&rng(), (list_.w - 16) / 8), fg, bg);
+    }
+    return;
+  }
+  // Compose typing: one character into the preview/compose pane.
+  const char c = static_cast<char>('a' + keycode % 26);
+  DrawTextLine(compose_x_, preview_.bottom() - font().line_height() - 4,
+               std::string_view(&c, 1), UiText(), kWhite);
+  compose_x_ += font().char_width();
+  if (compose_x_ > preview_.right() - 16) {
+    compose_x_ = preview_.x + 8;
+  }
+}
+
+void PimApp::OnClick(int32_t x, int32_t y) {
+  if (list_.Contains(Point{x, y})) {
+    selected_ = std::clamp((y - list_.y - 6) / font().line_height(), 0, 19);
+    RenderList();
+    RenderPreview();  // open the message
+  } else if (x < 180) {
+    // Folder switch: both panes refresh.
+    RenderList();
+    RenderPreview();
+  } else {
+    RenderPreview();  // reply/expand in the preview pane
+  }
+}
+
+}  // namespace slim

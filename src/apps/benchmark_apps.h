@@ -1,0 +1,90 @@
+// Concrete benchmark applications; see application.h for the class rationale.
+
+#ifndef SRC_APPS_BENCHMARK_APPS_H_
+#define SRC_APPS_BENCHMARK_APPS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/apps/application.h"
+
+namespace slim {
+
+// "Photoshop": image canvas with filters, brush strokes and tool chrome.
+class ImageEditorApp : public Application {
+ public:
+  ImageEditorApp(ServerSession* session, Rng rng);
+
+  AppKind kind() const override { return AppKind::kPhotoshop; }
+  void Start() override;
+  void OnKey(uint32_t keycode) override;
+  void OnClick(int32_t x, int32_t y) override;
+
+ private:
+  Rect canvas_;
+  int32_t brush_x_ = 0;
+  int32_t brush_y_ = 0;
+  bool panel_open_ = false;
+};
+
+// "Netscape": page renderer with inline images and scrolling.
+class BrowserApp : public Application {
+ public:
+  BrowserApp(ServerSession* session, Rng rng);
+
+  AppKind kind() const override { return AppKind::kNetscape; }
+  void Start() override;
+  void OnKey(uint32_t keycode) override;
+  void OnClick(int32_t x, int32_t y) override;
+
+ private:
+  void RenderPage(bool full);
+  void RenderStrip(const Rect& strip);
+
+  Rect view_;
+  int32_t scroll_row_ = 0;  // virtual document row at top of view
+};
+
+// "FrameMaker": document editor with character typing and page scrolling.
+class DocEditorApp : public Application {
+ public:
+  DocEditorApp(ServerSession* session, Rng rng);
+
+  AppKind kind() const override { return AppKind::kFrameMaker; }
+  void Start() override;
+  void OnKey(uint32_t keycode) override;
+  void OnClick(int32_t x, int32_t y) override;
+
+ private:
+  void NewLine();
+
+  Rect page_;
+  int32_t cursor_x_ = 0;
+  int32_t cursor_y_ = 0;
+  int chars_typed_ = 0;
+  bool menu_open_ = false;
+};
+
+// "PIM": mail/calendar with list navigation and pane switches.
+class PimApp : public Application {
+ public:
+  PimApp(ServerSession* session, Rng rng);
+
+  AppKind kind() const override { return AppKind::kPim; }
+  void Start() override;
+  void OnKey(uint32_t keycode) override;
+  void OnClick(int32_t x, int32_t y) override;
+
+ private:
+  void RenderList();
+  void RenderPreview();
+
+  Rect list_;
+  Rect preview_;
+  int selected_ = 0;
+  int32_t compose_x_ = 0;
+};
+
+}  // namespace slim
+
+#endif  // SRC_APPS_BENCHMARK_APPS_H_

@@ -1,0 +1,37 @@
+// Synthetic pixel content generators.
+//
+// The compression results depend on what kinds of pixels applications produce: photographic
+// content defeats the SLIM encoder (SET), UI chrome is solid (FILL), text is bicolor
+// (BITMAP). These generators produce each class deterministically from a seeded Rng.
+
+#ifndef SRC_APPS_CONTENT_H_
+#define SRC_APPS_CONTENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/fb/framebuffer.h"
+#include "src/util/rng.h"
+
+namespace slim {
+
+// Photograph-like block: smooth value-noise gradients plus per-pixel noise. Virtually every
+// pixel differs from its neighbours, so the encoder must fall back to SET.
+std::vector<Pixel> MakePhotoBlock(Rng* rng, int32_t w, int32_t h);
+
+// Dithered/graphic content: a small palette with structured regions (like GIF artwork);
+// compresses partially (some uniform chunks, some busy ones).
+std::vector<Pixel> MakeArtBlock(Rng* rng, int32_t w, int32_t h);
+
+// A line of pseudo-prose with word structure, for text rendering.
+std::string MakeTextLine(Rng* rng, int max_chars);
+
+// Deterministic UI palette helpers.
+Pixel UiBackground();
+Pixel UiPanel();
+Pixel UiAccent();
+Pixel UiText();
+
+}  // namespace slim
+
+#endif  // SRC_APPS_CONTENT_H_

@@ -1,0 +1,68 @@
+#include "src/apps/font.h"
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace slim {
+
+Font::Font(int32_t width, int32_t height) : width_(width), height_(height) {
+  SLIM_CHECK(width >= 4 && height >= 6);
+  for (int c = 0x20; c < 0x80; ++c) {
+    BuildGlyph(static_cast<char>(c));
+  }
+}
+
+void Font::BuildGlyph(char c) {
+  GlyphBitmap& glyph = glyphs_[static_cast<size_t>(c) - 0x20];
+  glyph.width = width_;
+  glyph.height = height_;
+  const size_t stride = (static_cast<size_t>(width_) + 7) / 8;
+  glyph.bits.assign(stride * static_cast<size_t>(height_), 0);
+  if (c == ' ') {
+    return;
+  }
+  // Stable per-character pattern: strokes inside a 1-pixel margin. Vertical and horizontal
+  // runs look enough like letterforms to produce realistic bicolor statistics.
+  Rng rng(0xf047u ^ (static_cast<uint64_t>(c) * 0x9e3779b97f4a7c15ull));
+  auto set_bit = [&](int32_t x, int32_t y) {
+    if (x < 1 || y < 1 || x >= width_ - 1 || y >= height_ - 2) {
+      return;  // margins keep adjacent characters separated
+    }
+    glyph.bits[static_cast<size_t>(y) * stride + (x >> 3)] |=
+        static_cast<uint8_t>(1u << (7 - (x & 7)));
+  };
+  const int strokes = 3 + static_cast<int>(rng.NextBelow(3));
+  for (int s = 0; s < strokes; ++s) {
+    const bool vertical = rng.NextBool(0.5);
+    const int32_t x0 = static_cast<int32_t>(rng.NextBelow(static_cast<uint64_t>(width_)));
+    const int32_t y0 = static_cast<int32_t>(rng.NextBelow(static_cast<uint64_t>(height_)));
+    const int32_t len = 2 + static_cast<int32_t>(rng.NextBelow(
+                                static_cast<uint64_t>(vertical ? height_ : width_)));
+    for (int32_t i = 0; i < len; ++i) {
+      set_bit(vertical ? x0 : x0 + i, vertical ? y0 + i : y0);
+    }
+  }
+}
+
+const GlyphBitmap& Font::Glyph(char c) const {
+  if (c < 0x20 || static_cast<unsigned char>(c) >= 0x80) {
+    c = '?';
+  }
+  return glyphs_[static_cast<size_t>(c) - 0x20];
+}
+
+std::vector<const GlyphBitmap*> Font::Shape(std::string_view text) const {
+  std::vector<const GlyphBitmap*> out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    out.push_back(&Glyph(c));
+  }
+  return out;
+}
+
+const Font& DefaultFont() {
+  static const Font font;
+  return font;
+}
+
+}  // namespace slim

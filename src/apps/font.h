@@ -1,0 +1,52 @@
+// A deterministic bitmap font for the synthetic applications.
+//
+// The experiments never look at glyph shapes — only at the pixel statistics text produces
+// (bicolor regions the encoder turns into BITMAP commands). Glyphs are therefore generated
+// procedurally: each printable character gets a stable, text-like 1-bit pattern with an ink
+// coverage of roughly 30%, empty margins between characters and lines, and an empty glyph
+// for space. The same codepoint always yields the same pattern, so repainted text re-encodes
+// identically.
+
+#ifndef SRC_APPS_FONT_H_
+#define SRC_APPS_FONT_H_
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+#include "src/server/session.h"
+
+namespace slim {
+
+class Font {
+ public:
+  // Cell size defaults to 8x13, the classic fixed terminal font.
+  explicit Font(int32_t width = 8, int32_t height = 13);
+
+  int32_t char_width() const { return width_; }
+  int32_t char_height() const { return height_; }
+  int32_t line_height() const { return height_ + 2; }
+
+  const GlyphBitmap& Glyph(char c) const;
+
+  // Glyph pointers for a whole string, ready for ServerSession::DrawGlyphs.
+  std::vector<const GlyphBitmap*> Shape(std::string_view text) const;
+
+  int32_t TextWidth(std::string_view text) const {
+    return static_cast<int32_t>(text.size()) * width_;
+  }
+
+ private:
+  void BuildGlyph(char c);
+
+  int32_t width_;
+  int32_t height_;
+  std::array<GlyphBitmap, 96> glyphs_;  // printable ASCII 0x20..0x7f
+};
+
+// Process-wide shared font (the apps all use the same face, as the paper's desktop did).
+const Font& DefaultFont();
+
+}  // namespace slim
+
+#endif  // SRC_APPS_FONT_H_

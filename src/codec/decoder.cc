@@ -1,0 +1,61 @@
+#include "src/codec/decoder.h"
+
+#include "src/color/yuv.h"
+
+namespace slim {
+
+bool ValidateCommand(const DisplayCommand& cmd) {
+  return std::visit(
+      [](const auto& c) -> bool {
+        using T = std::decay_t<decltype(c)>;
+        if (c.dst.empty() || c.dst.w < 0 || c.dst.h < 0) {
+          return false;
+        }
+        if constexpr (std::is_same_v<T, SetCommand>) {
+          return c.rgb.size() == static_cast<size_t>(c.dst.area()) * 3;
+        } else if constexpr (std::is_same_v<T, BitmapCommand>) {
+          const size_t stride = (static_cast<size_t>(c.dst.w) + 7) / 8;
+          return c.bits.size() == stride * static_cast<size_t>(c.dst.h);
+        } else if constexpr (std::is_same_v<T, FillCommand>) {
+          return true;
+        } else if constexpr (std::is_same_v<T, CopyCommand>) {
+          return true;
+        } else {
+          if (c.src_w <= 0 || c.src_h <= 0) {
+            return false;
+          }
+          // Bilinear scaling only enlarges (the console has no decimation hardware).
+          if (c.src_w > c.dst.w || c.src_h > c.dst.h) {
+            return false;
+          }
+          return c.payload.size() == CscsPayloadBytes(c.src_w, c.src_h, c.depth);
+        }
+      },
+      cmd);
+}
+
+bool ApplyCommand(const DisplayCommand& cmd, Framebuffer* fb) {
+  if (fb == nullptr || !ValidateCommand(cmd)) {
+    return false;
+  }
+  std::visit(
+      [fb](const auto& c) {
+        using T = std::decay_t<decltype(c)>;
+        if constexpr (std::is_same_v<T, SetCommand>) {
+          fb->SetPixels(c.dst, UnpackRgb(c.rgb));
+        } else if constexpr (std::is_same_v<T, BitmapCommand>) {
+          fb->ExpandBitmap(c.dst, c.bits, c.fg, c.bg);
+        } else if constexpr (std::is_same_v<T, FillCommand>) {
+          fb->Fill(c.dst, c.color);
+        } else if constexpr (std::is_same_v<T, CopyCommand>) {
+          fb->CopyRect(c.src_x, c.src_y, c.dst);
+        } else {
+          const YuvImage image = UnpackCscsPayload(c.payload, c.src_w, c.src_h, c.depth);
+          fb->SetPixels(c.dst, YuvToRgbScaled(image, c.dst.w, c.dst.h));
+        }
+      },
+      cmd);
+  return true;
+}
+
+}  // namespace slim

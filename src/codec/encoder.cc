@@ -1,0 +1,238 @@
+#include "src/codec/encoder.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace slim {
+
+namespace {
+
+// Classification of a rectangle's pixel population.
+struct ColorScan {
+  int distinct = 0;  // 0, 1, 2, or 3 meaning ">2"
+  Pixel first = 0;   // most common of the (up to) two colors seen first
+  Pixel second = 0;
+};
+
+ColorScan ScanColors(const Framebuffer& fb, const Rect& r) {
+  ColorScan scan;
+  for (int32_t y = r.y; y < r.bottom(); ++y) {
+    for (int32_t x = r.x; x < r.right(); ++x) {
+      const Pixel p = fb.GetPixel(x, y);
+      if (scan.distinct == 0) {
+        scan.first = p;
+        scan.distinct = 1;
+      } else if (p != scan.first) {
+        if (scan.distinct == 1) {
+          scan.second = p;
+          scan.distinct = 2;
+        } else if (p != scan.second) {
+          scan.distinct = 3;
+          return scan;
+        }
+      }
+    }
+  }
+  return scan;
+}
+
+}  // namespace
+
+Encoder::Encoder(EncoderOptions options) : options_(options) {
+  SLIM_CHECK(options_.band_height > 0);
+  SLIM_CHECK(options_.chunk_width > 0);
+  SLIM_CHECK(options_.max_set_pixels > 0);
+}
+
+std::vector<DisplayCommand> Encoder::EncodeDamage(const Framebuffer& fb,
+                                                  const Region& damage) const {
+  std::vector<DisplayCommand> out;
+  for (const Rect& r : damage.rects()) {
+    EncodeRect(fb, r, &out);
+  }
+  return out;
+}
+
+void Encoder::EncodeRect(const Framebuffer& fb, const Rect& rect,
+                         std::vector<DisplayCommand>* out) const {
+  SLIM_DCHECK(out != nullptr);
+  const Rect clipped = Intersect(rect, fb.bounds());
+  if (clipped.empty()) {
+    return;
+  }
+  for (int32_t y = clipped.y; y < clipped.bottom(); y += options_.band_height) {
+    const int32_t bh = std::min(options_.band_height, clipped.bottom() - y);
+    EncodeBand(fb, Rect{clipped.x, y, clipped.w, bh}, out);
+  }
+}
+
+void Encoder::EncodeBand(const Framebuffer& fb, const Rect& band,
+                         std::vector<DisplayCommand>* out) const {
+  // Whole-band fast path: uniform or bicolor bands are common (window background, text).
+  const ColorScan whole = ScanColors(fb, band);
+  if (whole.distinct <= 1 && options_.enable_fill) {
+    out->push_back(FillCommand{band, whole.first});
+    return;
+  }
+  if (whole.distinct == 2 && options_.enable_bitmap) {
+    EmitBitmap(fb, band, whole.first, whole.second, out);
+    return;
+  }
+
+  // Mixed band: classify fixed-width column chunks, then merge adjacent compatible chunks so
+  // a long text run still becomes a single BITMAP and a long gradient a single SET.
+  enum class Kind { kFill, kBitmap, kSet };
+  struct Chunk {
+    Kind kind;
+    Rect rect;
+    Pixel a = 0;  // fill color / bitmap bg
+    Pixel b = 0;  // bitmap fg
+  };
+  std::vector<Chunk> chunks;
+  for (int32_t x = band.x; x < band.right(); x += options_.chunk_width) {
+    const int32_t cw = std::min(options_.chunk_width, band.right() - x);
+    const Rect r{x, band.y, cw, band.h};
+    const ColorScan scan = ScanColors(fb, r);
+    Chunk chunk{Kind::kSet, r, 0, 0};
+    if (scan.distinct <= 1 && options_.enable_fill) {
+      chunk = Chunk{Kind::kFill, r, scan.first, 0};
+    } else if (scan.distinct == 2 && options_.enable_bitmap) {
+      chunk = Chunk{Kind::kBitmap, r, scan.first, scan.second};
+    }
+    if (!chunks.empty()) {
+      Chunk& prev = chunks.back();
+      const bool same_fill = prev.kind == Kind::kFill && chunk.kind == Kind::kFill &&
+                             prev.a == chunk.a;
+      const bool same_set = prev.kind == Kind::kSet && chunk.kind == Kind::kSet;
+      // Two bicolor chunks merge when their color sets are compatible.
+      const bool same_bitmap =
+          prev.kind == Kind::kBitmap && chunk.kind == Kind::kBitmap &&
+          ((prev.a == chunk.a && prev.b == chunk.b) || (prev.a == chunk.b && prev.b == chunk.a));
+      // A fill chunk extends a bitmap run when its color is one of the run's two colors.
+      const bool fill_into_bitmap = prev.kind == Kind::kBitmap && chunk.kind == Kind::kFill &&
+                                    (chunk.a == prev.a || chunk.a == prev.b);
+      const bool bitmap_after_fill = prev.kind == Kind::kFill && chunk.kind == Kind::kBitmap &&
+                                     (prev.a == chunk.a || prev.a == chunk.b);
+      if (same_fill || same_set || same_bitmap || fill_into_bitmap) {
+        prev.rect.w += chunk.rect.w;
+        continue;
+      }
+      if (bitmap_after_fill) {
+        prev.kind = Kind::kBitmap;
+        if (prev.a == chunk.b) {
+          prev.b = chunk.a;
+        } else {
+          prev.b = chunk.b;
+        }
+        prev.rect.w += chunk.rect.w;
+        continue;
+      }
+    }
+    chunks.push_back(chunk);
+  }
+  for (const Chunk& chunk : chunks) {
+    switch (chunk.kind) {
+      case Kind::kFill:
+        out->push_back(FillCommand{chunk.rect, chunk.a});
+        break;
+      case Kind::kBitmap:
+        EmitBitmap(fb, chunk.rect, chunk.a, chunk.b, out);
+        break;
+      case Kind::kSet:
+        EmitSet(fb, chunk.rect, out);
+        break;
+    }
+  }
+}
+
+void Encoder::EmitSet(const Framebuffer& fb, const Rect& rect,
+                      std::vector<DisplayCommand>* out) const {
+  // Split tall SETs so one command never exceeds max_set_pixels.
+  const int32_t max_rows = std::max<int32_t>(
+      1, static_cast<int32_t>(options_.max_set_pixels / std::max(rect.w, 1)));
+  for (int32_t y = rect.y; y < rect.bottom(); y += max_rows) {
+    const int32_t h = std::min(max_rows, rect.bottom() - y);
+    const Rect part{rect.x, y, rect.w, h};
+    std::vector<Pixel> pixels;
+    fb.ReadPixels(part, &pixels);
+    out->push_back(SetCommand{part, PackRgb(pixels)});
+  }
+}
+
+void Encoder::EmitBitmap(const Framebuffer& fb, const Rect& rect, Pixel bg, Pixel fg,
+                         std::vector<DisplayCommand>* out) const {
+  const size_t stride = (static_cast<size_t>(rect.w) + 7) / 8;
+  std::vector<uint8_t> bits(stride * static_cast<size_t>(rect.h), 0);
+  for (int32_t y = rect.y; y < rect.bottom(); ++y) {
+    uint8_t* row = &bits[static_cast<size_t>(y - rect.y) * stride];
+    for (int32_t x = rect.x; x < rect.right(); ++x) {
+      if (fb.GetPixel(x, y) == fg) {
+        const int32_t bit = x - rect.x;
+        row[bit >> 3] |= static_cast<uint8_t>(1u << (7 - (bit & 7)));
+      }
+    }
+  }
+  out->push_back(BitmapCommand{rect, fg, bg, std::move(bits)});
+}
+
+void Encoder::Accumulate(const std::vector<DisplayCommand>& cmds, EncodeStats stats[6]) {
+  for (const DisplayCommand& cmd : cmds) {
+    EncodeStats& slot = stats[static_cast<size_t>(TypeOf(cmd))];
+    slot.commands += 1;
+    slot.wire_bytes += static_cast<int64_t>(WireSize(cmd));
+    slot.uncompressed_bytes += UncompressedBytes(cmd);
+    slot.pixels += AffectedPixels(cmd);
+  }
+}
+
+int32_t DetectVerticalScroll(const Framebuffer& before, const Framebuffer& after,
+                             const Rect& rect, int32_t max_shift) {
+  const Rect r = Intersect(rect, after.bounds());
+  if (r.empty() || r.h < 8) {
+    return 0;
+  }
+  // Sample a sparse grid of probe points; a shift must explain nearly all of them.
+  constexpr int32_t kProbesX = 16;
+  constexpr int32_t kProbesY = 16;
+  for (int32_t magnitude = 1; magnitude <= max_shift; ++magnitude) {
+    for (const int32_t dy : {-magnitude, magnitude}) {
+      int matches = 0;
+      int probes = 0;
+      for (int32_t py = 0; py < kProbesY; ++py) {
+        const int32_t y = r.y + static_cast<int64_t>(py) * r.h / kProbesY;
+        const int32_t sy = y - dy;
+        if (sy < r.y || sy >= r.bottom()) {
+          continue;
+        }
+        for (int32_t px = 0; px < kProbesX; ++px) {
+          const int32_t x = r.x + static_cast<int64_t>(px) * r.w / kProbesX;
+          ++probes;
+          if (after.GetPixel(x, y) == before.GetPixel(x, sy)) {
+            ++matches;
+          }
+        }
+      }
+      if (probes > 0 && matches == probes) {
+        // Confirm exhaustively on the shifted interior before trusting the sparse probe.
+        const int32_t y0 = std::max(r.y, r.y + dy);
+        const int32_t y1 = std::min(r.bottom(), r.bottom() + dy);
+        bool confirmed = true;
+        for (int32_t y = y0; y < y1 && confirmed; ++y) {
+          for (int32_t x = r.x; x < r.right(); ++x) {
+            if (after.GetPixel(x, y) != before.GetPixel(x, y - dy)) {
+              confirmed = false;
+              break;
+            }
+          }
+        }
+        if (confirmed) {
+          return dy;
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace slim

@@ -1,0 +1,295 @@
+#include "src/color/yuv.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace slim {
+
+namespace {
+
+uint8_t ClampByte(int v) { return static_cast<uint8_t>(std::clamp(v, 0, 255)); }
+
+// Expands the top `bits` bits of a component back to 8 bits by bit replication.
+uint8_t ExpandBits(uint32_t value, int bits) {
+  SLIM_DCHECK(bits >= 1 && bits <= 8);
+  uint32_t out = value << (8 - bits);
+  int filled = bits;
+  while (filled < 8) {
+    out |= out >> filled;
+    filled *= 2;
+  }
+  return static_cast<uint8_t>(out & 0xff);
+}
+
+struct DepthSpec {
+  int y_bits;
+  int c_bits;
+  int c_sub_x;  // chroma subsample factor in x
+  int c_sub_y;  // chroma subsample factor in y
+};
+
+DepthSpec SpecFor(CscsDepth depth) {
+  switch (depth) {
+    case CscsDepth::k16:
+      return {8, 8, 2, 1};
+    case CscsDepth::k12:
+      return {8, 8, 2, 2};
+    case CscsDepth::k8:
+      return {6, 4, 2, 2};
+    case CscsDepth::k6:
+      return {4, 4, 2, 2};
+    case CscsDepth::k5:
+      return {4, 2, 2, 2};
+  }
+  SLIM_CHECK(false);
+}
+
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void Write(uint32_t value, int bits) {
+    for (int i = bits - 1; i >= 0; --i) {
+      if (bit_pos_ == 0) {
+        out_->push_back(0);
+      }
+      const uint8_t bit = (value >> i) & 1;
+      out_->back() |= static_cast<uint8_t>(bit << (7 - bit_pos_));
+      bit_pos_ = (bit_pos_ + 1) & 7;
+    }
+  }
+
+  void AlignByte() { bit_pos_ = 0; }
+
+ private:
+  std::vector<uint8_t>* out_;
+  int bit_pos_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const uint8_t> data) : data_(data) {}
+
+  uint32_t Read(int bits) {
+    uint32_t value = 0;
+    for (int i = 0; i < bits; ++i) {
+      uint8_t bit = 0;
+      if (byte_pos_ < data_.size()) {
+        bit = (data_[byte_pos_] >> (7 - bit_pos_)) & 1;
+      }
+      value = (value << 1) | bit;
+      if (++bit_pos_ == 8) {
+        bit_pos_ = 0;
+        ++byte_pos_;
+      }
+    }
+    return value;
+  }
+
+  void AlignByte() {
+    if (bit_pos_ != 0) {
+      bit_pos_ = 0;
+      ++byte_pos_;
+    }
+  }
+
+ private:
+  std::span<const uint8_t> data_;
+  size_t byte_pos_ = 0;
+  int bit_pos_ = 0;
+};
+
+size_t PlaneBits(int64_t samples, int bits) { return static_cast<size_t>(samples) * bits; }
+
+size_t BitsToBytes(size_t bits) { return (bits + 7) / 8; }
+
+}  // namespace
+
+Yuv RgbToYuv(Pixel rgb) {
+  const int r = PixelR(rgb);
+  const int g = PixelG(rgb);
+  const int b = PixelB(rgb);
+  Yuv out;
+  out.y = ClampByte(static_cast<int>(std::lround(0.299 * r + 0.587 * g + 0.114 * b)));
+  out.u = ClampByte(
+      static_cast<int>(std::lround(128.0 - 0.168736 * r - 0.331264 * g + 0.5 * b)));
+  out.v = ClampByte(
+      static_cast<int>(std::lround(128.0 + 0.5 * r - 0.418688 * g - 0.081312 * b)));
+  return out;
+}
+
+Pixel YuvToRgb(Yuv yuv) {
+  const double y = yuv.y;
+  const double u = yuv.u - 128.0;
+  const double v = yuv.v - 128.0;
+  const uint8_t r = ClampByte(static_cast<int>(std::lround(y + 1.402 * v)));
+  const uint8_t g = ClampByte(static_cast<int>(std::lround(y - 0.344136 * u - 0.714136 * v)));
+  const uint8_t b = ClampByte(static_cast<int>(std::lround(y + 1.772 * u)));
+  return MakePixel(r, g, b);
+}
+
+int BitsPerPixel(CscsDepth depth) { return static_cast<int>(depth); }
+
+YuvImage::YuvImage(int32_t width, int32_t height) : width_(width), height_(height) {
+  SLIM_CHECK(width > 0 && height > 0);
+  const size_t n = static_cast<size_t>(width) * height;
+  y_.assign(n, 0);
+  u_.assign(n, 128);
+  v_.assign(n, 128);
+}
+
+Yuv YuvImage::At(int32_t x, int32_t y) const {
+  SLIM_DCHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
+  const size_t i = static_cast<size_t>(y) * width_ + x;
+  return Yuv{y_[i], u_[i], v_[i]};
+}
+
+void YuvImage::Set(int32_t x, int32_t y, Yuv value) {
+  SLIM_DCHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
+  const size_t i = static_cast<size_t>(y) * width_ + x;
+  y_[i] = value.y;
+  u_[i] = value.u;
+  v_[i] = value.v;
+}
+
+YuvImage YuvImage::FromPixels(std::span<const Pixel> rgb, int32_t w, int32_t h) {
+  SLIM_CHECK(rgb.size() >= static_cast<size_t>(w) * h);
+  YuvImage image(w, h);
+  for (int32_t y = 0; y < h; ++y) {
+    for (int32_t x = 0; x < w; ++x) {
+      image.Set(x, y, RgbToYuv(rgb[static_cast<size_t>(y) * w + x]));
+    }
+  }
+  return image;
+}
+
+size_t CscsPayloadBytes(int32_t w, int32_t h, CscsDepth depth) {
+  const DepthSpec spec = SpecFor(depth);
+  const int64_t cw = (w + spec.c_sub_x - 1) / spec.c_sub_x;
+  const int64_t ch = (h + spec.c_sub_y - 1) / spec.c_sub_y;
+  const size_t y_bytes = BitsToBytes(PlaneBits(static_cast<int64_t>(w) * h, spec.y_bits));
+  const size_t c_bytes = BitsToBytes(PlaneBits(cw * ch, spec.c_bits));
+  return y_bytes + 2 * c_bytes;
+}
+
+std::vector<uint8_t> PackCscsPayload(const YuvImage& image, CscsDepth depth) {
+  const DepthSpec spec = SpecFor(depth);
+  const int32_t w = image.width();
+  const int32_t h = image.height();
+  std::vector<uint8_t> out;
+  out.reserve(CscsPayloadBytes(w, h, depth));
+  BitWriter writer(&out);
+  // Y plane: quantize by keeping top bits.
+  for (int32_t y = 0; y < h; ++y) {
+    for (int32_t x = 0; x < w; ++x) {
+      writer.Write(image.At(x, y).y >> (8 - spec.y_bits), spec.y_bits);
+    }
+  }
+  writer.AlignByte();
+  // Chroma planes: average each subsampling block, then quantize.
+  const int32_t cw = (w + spec.c_sub_x - 1) / spec.c_sub_x;
+  const int32_t ch = (h + spec.c_sub_y - 1) / spec.c_sub_y;
+  for (const bool is_u : {true, false}) {
+    for (int32_t cy = 0; cy < ch; ++cy) {
+      for (int32_t cx = 0; cx < cw; ++cx) {
+        int sum = 0;
+        int count = 0;
+        for (int32_t dy = 0; dy < spec.c_sub_y; ++dy) {
+          for (int32_t dx = 0; dx < spec.c_sub_x; ++dx) {
+            const int32_t px = cx * spec.c_sub_x + dx;
+            const int32_t py = cy * spec.c_sub_y + dy;
+            if (px < w && py < h) {
+              const Yuv s = image.At(px, py);
+              sum += is_u ? s.u : s.v;
+              ++count;
+            }
+          }
+        }
+        const int avg = count > 0 ? (sum + count / 2) / count : 128;
+        writer.Write(static_cast<uint32_t>(avg) >> (8 - spec.c_bits), spec.c_bits);
+      }
+    }
+    writer.AlignByte();
+  }
+  return out;
+}
+
+YuvImage UnpackCscsPayload(std::span<const uint8_t> payload, int32_t w, int32_t h,
+                           CscsDepth depth) {
+  const DepthSpec spec = SpecFor(depth);
+  YuvImage image(w, h);
+  BitReader reader(payload);
+  for (int32_t y = 0; y < h; ++y) {
+    for (int32_t x = 0; x < w; ++x) {
+      Yuv s = image.At(x, y);
+      s.y = ExpandBits(reader.Read(spec.y_bits), spec.y_bits);
+      image.Set(x, y, s);
+    }
+  }
+  reader.AlignByte();
+  const int32_t cw = (w + spec.c_sub_x - 1) / spec.c_sub_x;
+  const int32_t ch = (h + spec.c_sub_y - 1) / spec.c_sub_y;
+  for (const bool is_u : {true, false}) {
+    for (int32_t cy = 0; cy < ch; ++cy) {
+      for (int32_t cx = 0; cx < cw; ++cx) {
+        const uint8_t value = ExpandBits(reader.Read(spec.c_bits), spec.c_bits);
+        for (int32_t dy = 0; dy < spec.c_sub_y; ++dy) {
+          for (int32_t dx = 0; dx < spec.c_sub_x; ++dx) {
+            const int32_t px = cx * spec.c_sub_x + dx;
+            const int32_t py = cy * spec.c_sub_y + dy;
+            if (px < w && py < h) {
+              Yuv s = image.At(px, py);
+              if (is_u) {
+                s.u = value;
+              } else {
+                s.v = value;
+              }
+              image.Set(px, py, s);
+            }
+          }
+        }
+      }
+    }
+    reader.AlignByte();
+  }
+  return image;
+}
+
+std::vector<Pixel> YuvToRgbScaled(const YuvImage& image, int32_t dst_w, int32_t dst_h) {
+  SLIM_CHECK(dst_w > 0 && dst_h > 0);
+  std::vector<Pixel> out(static_cast<size_t>(dst_w) * dst_h);
+  const int32_t sw = image.width();
+  const int32_t sh = image.height();
+  const double x_ratio = static_cast<double>(sw) / dst_w;
+  const double y_ratio = static_cast<double>(sh) / dst_h;
+  for (int32_t dy = 0; dy < dst_h; ++dy) {
+    const double sy = std::max(0.0, (dy + 0.5) * y_ratio - 0.5);
+    const int32_t y0 = std::min(static_cast<int32_t>(sy), sh - 1);
+    const int32_t y1 = std::min(y0 + 1, sh - 1);
+    const double fy = sy - y0;
+    for (int32_t dx = 0; dx < dst_w; ++dx) {
+      const double sx = std::max(0.0, (dx + 0.5) * x_ratio - 0.5);
+      const int32_t x0 = std::min(static_cast<int32_t>(sx), sw - 1);
+      const int32_t x1 = std::min(x0 + 1, sw - 1);
+      const double fx = sx - x0;
+      auto lerp = [&](auto get) {
+        const double top = get(x0, y0) * (1 - fx) + get(x1, y0) * fx;
+        const double bot = get(x0, y1) * (1 - fx) + get(x1, y1) * fx;
+        return top * (1 - fy) + bot * fy;
+      };
+      Yuv s;
+      s.y = ClampByte(static_cast<int>(
+          std::lround(lerp([&](int32_t x, int32_t y) { return double{1} * image.At(x, y).y; }))));
+      s.u = ClampByte(static_cast<int>(
+          std::lround(lerp([&](int32_t x, int32_t y) { return double{1} * image.At(x, y).u; }))));
+      s.v = ClampByte(static_cast<int>(
+          std::lround(lerp([&](int32_t x, int32_t y) { return double{1} * image.At(x, y).v; }))));
+      out[static_cast<size_t>(dy) * dst_w + dx] = YuvToRgb(s);
+    }
+  }
+  return out;
+}
+
+}  // namespace slim

@@ -1,0 +1,80 @@
+#include "src/console/bandwidth.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace slim {
+
+std::vector<BandwidthGrant> AllocateBandwidth(std::vector<BandwidthRequest> requests,
+                                              int64_t total_bps) {
+  SLIM_CHECK(total_bps >= 0);
+  std::vector<BandwidthGrant> grants;
+  grants.reserve(requests.size());
+  // Ascending by requested rate; flow id breaks ties deterministically.
+  std::sort(requests.begin(), requests.end(), [](const auto& a, const auto& b) {
+    if (a.bits_per_second != b.bits_per_second) {
+      return a.bits_per_second < b.bits_per_second;
+    }
+    return a.flow_id < b.flow_id;
+  });
+  int64_t available = total_bps;
+  size_t i = 0;
+  for (; i < requests.size(); ++i) {
+    const int64_t want = std::max<int64_t>(requests[i].bits_per_second, 0);
+    if (want > available) {
+      break;  // This and all larger requests share the remainder fairly.
+    }
+    grants.push_back({requests[i].flow_id, want});
+    available -= want;
+  }
+  const size_t remaining = requests.size() - i;
+  if (remaining > 0) {
+    const int64_t fair_share = available / static_cast<int64_t>(remaining);
+    for (; i < requests.size(); ++i) {
+      grants.push_back({requests[i].flow_id, fair_share});
+    }
+  }
+  return grants;
+}
+
+BandwidthAllocator::BandwidthAllocator(int64_t total_bps) : total_bps_(total_bps) {
+  SLIM_CHECK(total_bps >= 0);
+}
+
+std::vector<BandwidthGrant> BandwidthAllocator::Request(uint64_t flow_id,
+                                                        int64_t bits_per_second) {
+  requests_[flow_id] = bits_per_second;
+  Recompute();
+  std::vector<BandwidthGrant> out;
+  out.reserve(grants_.size());
+  for (const auto& [id, bps] : grants_) {
+    out.push_back({id, bps});
+  }
+  return out;
+}
+
+void BandwidthAllocator::Remove(uint64_t flow_id) {
+  requests_.erase(flow_id);
+  grants_.erase(flow_id);
+  Recompute();
+}
+
+int64_t BandwidthAllocator::GrantFor(uint64_t flow_id) const {
+  const auto it = grants_.find(flow_id);
+  return it == grants_.end() ? 0 : it->second;
+}
+
+void BandwidthAllocator::Recompute() {
+  std::vector<BandwidthRequest> requests;
+  requests.reserve(requests_.size());
+  for (const auto& [id, bps] : requests_) {
+    requests.push_back({id, bps});
+  }
+  grants_.clear();
+  for (const BandwidthGrant& grant : AllocateBandwidth(std::move(requests), total_bps_)) {
+    grants_[grant.flow_id] = grant.bits_per_second;
+  }
+}
+
+}  // namespace slim

@@ -1,0 +1,57 @@
+// Console network bandwidth allocation (paper Section 7).
+//
+// Applications (the display server on behalf of X clients, the video library on behalf of
+// multimedia programs) request console bandwidth based on their past needs. The console
+// sorts requests in ascending order and grants them one at a time until a request exceeds
+// the available bandwidth, at which point all remaining requests receive a fair share of the
+// unallocated remainder. This lets a Quake stream saturate its share while interactive
+// windows keep getting service.
+
+#ifndef SRC_CONSOLE_BANDWIDTH_H_
+#define SRC_CONSOLE_BANDWIDTH_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace slim {
+
+struct BandwidthRequest {
+  uint64_t flow_id = 0;
+  int64_t bits_per_second = 0;
+};
+
+struct BandwidthGrant {
+  uint64_t flow_id = 0;
+  int64_t bits_per_second = 0;
+};
+
+// Pure allocation function (unit-tested directly): ascending grant with fair-share
+// remainder. Total granted never exceeds `total_bps`; requests are never over-granted.
+std::vector<BandwidthGrant> AllocateBandwidth(std::vector<BandwidthRequest> requests,
+                                              int64_t total_bps);
+
+// Stateful tracker the console embeds: remembers the latest request per flow and
+// recomputes grants whenever a request changes.
+class BandwidthAllocator {
+ public:
+  explicit BandwidthAllocator(int64_t total_bps);
+
+  // Updates (or registers) a flow's request and returns the fresh grant set.
+  std::vector<BandwidthGrant> Request(uint64_t flow_id, int64_t bits_per_second);
+  void Remove(uint64_t flow_id);
+
+  int64_t GrantFor(uint64_t flow_id) const;
+  int64_t total_bps() const { return total_bps_; }
+
+ private:
+  void Recompute();
+
+  int64_t total_bps_;
+  std::map<uint64_t, int64_t> requests_;
+  std::map<uint64_t, int64_t> grants_;
+};
+
+}  // namespace slim
+
+#endif  // SRC_CONSOLE_BANDWIDTH_H_

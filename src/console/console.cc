@@ -1,0 +1,119 @@
+#include "src/console/console.h"
+
+#include <algorithm>
+
+#include "src/codec/decoder.h"
+#include "src/util/check.h"
+
+namespace slim {
+
+Console::Console(Simulator* sim, Fabric* fabric, ConsoleOptions options)
+    : sim_(sim),
+      options_(options),
+      fb_(options.width, options.height),
+      allocator_(options.allocatable_bps) {
+  SLIM_CHECK(sim != nullptr && fabric != nullptr);
+  endpoint_ = std::make_unique<SlimEndpoint>(fabric, fabric->AddNode());
+  endpoint_->set_handler([this](const Message& msg, NodeId from) { OnMessage(msg, from); });
+}
+
+void Console::SendKey(NodeId server, uint32_t session, uint32_t keycode, bool pressed) {
+  endpoint_->Send(server, session, KeyEventMsg{keycode, pressed});
+}
+
+void Console::SendMouse(NodeId server, uint32_t session, int32_t x, int32_t y, uint8_t buttons,
+                        bool is_motion) {
+  endpoint_->Send(server, session, MouseEventMsg{x, y, buttons, is_motion});
+}
+
+void Console::InsertCard(NodeId server, uint64_t card_id) {
+  endpoint_->Send(server, 0, SessionAttachMsg{card_id});
+}
+
+void Console::RemoveCard(NodeId server, uint64_t card_id) {
+  endpoint_->Send(server, 0, SessionDetachMsg{card_id});
+}
+
+void Console::OnMessage(const Message& msg, NodeId from) {
+  std::visit(
+      [&](const auto& body) {
+        using T = std::decay_t<decltype(body)>;
+        if constexpr (std::is_same_v<T, SetCommand> || std::is_same_v<T, BitmapCommand> ||
+                      std::is_same_v<T, FillCommand> || std::is_same_v<T, CopyCommand> ||
+                      std::is_same_v<T, CscsCommand>) {
+          ProcessDisplayCommand(msg, DisplayCommand(body));
+        } else if constexpr (std::is_same_v<T, PingMsg>) {
+          endpoint_->Send(from, msg.session_id, PongMsg{body.payload});
+        } else if constexpr (std::is_same_v<T, BandwidthRequestMsg>) {
+          // Section 7 allocation: recompute and notify the requester of its own grant.
+          allocator_.Request(body.flow_id, body.bits_per_second);
+          endpoint_->Send(from, msg.session_id,
+                          BandwidthGrantMsg{body.flow_id, allocator_.GrantFor(body.flow_id)});
+        } else if constexpr (std::is_same_v<T, AudioMsg>) {
+          audio_bytes_ += static_cast<int64_t>(body.samples.size());
+        } else {
+          // Status, session and grant messages are server-side concerns; a console that
+          // receives them ignores them (it is stateless and has nothing to update).
+        }
+      },
+      msg.body);
+}
+
+void Console::ProcessDisplayCommand(const Message& msg, const DisplayCommand& cmd) {
+  if (!ValidateCommand(cmd)) {
+    ++commands_rejected_;
+    return;
+  }
+  const size_t wire_bytes = WireSize(cmd);
+  if (queued_bytes_ + static_cast<int64_t>(wire_bytes) > options_.queue_limit_bytes) {
+    ++commands_dropped_;
+    return;
+  }
+  queued_bytes_ += static_cast<int64_t>(wire_bytes);
+
+  SimDuration cost;
+  if (const auto* cscs = std::get_if<CscsCommand>(&cmd)) {
+    const StreamState state{cscs->src_w, cscs->src_h, cscs->dst};
+    const auto it = std::find(stream_cache_.begin(), stream_cache_.end(), state);
+    if (it != stream_cache_.end()) {
+      ++cscs_stream_hits_;
+      cost = options_.cost_model.StreamingCscsCost(*cscs);
+      stream_cache_.erase(it);
+    } else {
+      cost = options_.cost_model.CostOf(cmd);
+    }
+    stream_cache_.push_back(state);
+    if (stream_cache_.size() > 8) {
+      stream_cache_.erase(stream_cache_.begin());
+    }
+  } else {
+    cost = options_.cost_model.CostOf(cmd);
+  }
+
+  ServiceRecord record;
+  record.arrival = sim_->now();
+  record.start = std::max(sim_->now(), busy_until_);
+  record.completion = record.start + cost;
+  record.type = TypeOf(cmd);
+  record.pixels = AffectedPixels(cmd);
+  record.wire_bytes = wire_bytes;
+  record.seq = msg.seq;
+  busy_until_ = record.completion;
+  busy_time_ += cost;
+
+  sim_->ScheduleAt(record.completion, [this, cmd, record]() {
+    const bool ok = ApplyCommand(cmd, &fb_);
+    SLIM_DCHECK(ok);
+    (void)ok;
+    queued_bytes_ -= static_cast<int64_t>(record.wire_bytes);
+    ++commands_applied_;
+    if (options_.record_service_log) {
+      service_log_.push_back(record);
+    }
+    if (apply_callback_) {
+      apply_callback_(record);
+    }
+  });
+}
+
+}  // namespace slim

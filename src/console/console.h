@@ -1,0 +1,117 @@
+// The SLIM console: a stateless desktop terminal.
+//
+// A Console owns a soft-state framebuffer and a transport endpoint. It decodes display
+// commands for real (pixels are exact) while charging simulated time from the Table 5 cost
+// model through a single busy-server decode pipeline; commands that arrive faster than the
+// pipeline drains queue up to the device's memory limit and are then dropped, exactly the
+// saturation behaviour the paper used to characterize the hardware. Input devices (keyboard,
+// mouse, smart-card reader) inject upstream messages.
+
+#ifndef SRC_CONSOLE_CONSOLE_H_
+#define SRC_CONSOLE_CONSOLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/console/bandwidth.h"
+#include "src/console/cost_model.h"
+#include "src/fb/framebuffer.h"
+#include "src/net/fabric.h"
+#include "src/net/transport.h"
+#include "src/sim/simulator.h"
+
+namespace slim {
+
+struct ConsoleOptions {
+  int32_t width = 1280;
+  int32_t height = 1024;
+  ConsoleCostModel cost_model;
+  // Command memory: the Sun Ray 1 uses 2MB of its 8MB; queued protocol data beyond this is
+  // dropped (and recovered by replay when the sender cares).
+  int64_t queue_limit_bytes = 2 * 1024 * 1024;
+  // Total downstream bandwidth the Section 7 allocator hands out.
+  int64_t allocatable_bps = 100'000'000;
+  // Record per-command service times (Figure 7 / Table 5 harnesses); costs memory.
+  bool record_service_log = true;
+};
+
+// One decoded display command's timing, the unit of the paper's service-time analysis.
+struct ServiceRecord {
+  SimTime arrival = 0;     // message fully received at the console
+  SimTime start = 0;       // decode began (arrival + queueing)
+  SimTime completion = 0;  // pixels guaranteed on the display
+  CommandType type = CommandType::kSet;
+  int64_t pixels = 0;
+  size_t wire_bytes = 0;
+  uint64_t seq = 0;
+};
+
+class Console {
+ public:
+  Console(Simulator* sim, Fabric* fabric, ConsoleOptions options);
+
+  NodeId node() const { return endpoint_->node(); }
+  Framebuffer& framebuffer() { return fb_; }
+  const Framebuffer& framebuffer() const { return fb_; }
+  SlimEndpoint& endpoint() { return *endpoint_; }
+
+  // --- Input devices ---
+  void SendKey(NodeId server, uint32_t session, uint32_t keycode, bool pressed);
+  void SendMouse(NodeId server, uint32_t session, int32_t x, int32_t y, uint8_t buttons,
+                 bool is_motion);
+  void InsertCard(NodeId server, uint64_t card_id);
+  void RemoveCard(NodeId server, uint64_t card_id);
+
+  // --- Observability ---
+  const std::vector<ServiceRecord>& service_log() const { return service_log_; }
+  void ClearServiceLog() { service_log_.clear(); }
+  int64_t commands_applied() const { return commands_applied_; }
+  int64_t commands_dropped() const { return commands_dropped_; }
+  int64_t commands_rejected() const { return commands_rejected_; }
+  int64_t cscs_stream_hits() const { return cscs_stream_hits_; }
+  int64_t audio_bytes() const { return audio_bytes_; }
+  SimTime busy_until() const { return busy_until_; }
+  // Time the decode pipeline has spent busy (for utilization accounting).
+  SimDuration busy_time() const { return busy_time_; }
+
+  const BandwidthAllocator& allocator() const { return allocator_; }
+
+  // Invoked after each command is applied (completion time semantics).
+  using ApplyCallback = std::function<void(const ServiceRecord&)>;
+  void set_apply_callback(ApplyCallback cb) { apply_callback_ = std::move(cb); }
+
+ private:
+  void OnMessage(const Message& msg, NodeId from);
+  void ProcessDisplayCommand(const Message& msg, const DisplayCommand& cmd);
+
+  Simulator* sim_;
+  ConsoleOptions options_;
+  Framebuffer fb_;
+  std::unique_ptr<SlimEndpoint> endpoint_;
+  BandwidthAllocator allocator_;
+
+  SimTime busy_until_ = 0;
+  SimDuration busy_time_ = 0;
+  int64_t queued_bytes_ = 0;
+  // Recently-seen CSCS stream geometries (src dims + destination); a hit means the graphics
+  // controller state is already configured and the warm-path cost applies.
+  struct StreamState {
+    int32_t src_w;
+    int32_t src_h;
+    Rect dst;
+    bool operator==(const StreamState&) const = default;
+  };
+  std::vector<StreamState> stream_cache_;  // small LRU, most recent at the back
+  int64_t cscs_stream_hits_ = 0;
+  int64_t commands_applied_ = 0;
+  int64_t commands_dropped_ = 0;
+  int64_t commands_rejected_ = 0;
+  int64_t audio_bytes_ = 0;
+  std::vector<ServiceRecord> service_log_;
+  ApplyCallback apply_callback_;
+};
+
+}  // namespace slim
+
+#endif  // SRC_CONSOLE_CONSOLE_H_

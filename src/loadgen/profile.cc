@@ -1,0 +1,91 @@
+#include "src/loadgen/profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slim {
+
+double ResourceProfile::AverageCpu() const {
+  if (intervals.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const auto& i : intervals) {
+    total += i.cpu_fraction;
+  }
+  return total / static_cast<double>(intervals.size());
+}
+
+int64_t ResourceProfile::PeakResidentBytes() const {
+  int64_t peak = 0;
+  for (const auto& i : intervals) {
+    peak = std::max(peak, i.resident_bytes);
+  }
+  return peak;
+}
+
+double ResourceProfile::AverageNetBps() const {
+  if (intervals.empty()) {
+    return 0.0;
+  }
+  int64_t total = 0;
+  for (const auto& i : intervals) {
+    total += i.net_bytes;
+  }
+  return static_cast<double>(total) * 8.0 /
+         (ToSeconds(interval) * static_cast<double>(intervals.size()));
+}
+
+AppResourceParams ResourceParamsFor(AppKind kind) {
+  switch (kind) {
+    case AppKind::kPhotoshop:
+      return {0.14, 0.55, 60LL * 1024 * 1024, 700'000, Milliseconds(130)};
+    case AppKind::kNetscape:
+      return {0.13, 0.50, 45LL * 1024 * 1024, 650'000, Milliseconds(90)};
+    case AppKind::kFrameMaker:
+      return {0.08, 0.65, 28LL * 1024 * 1024, 200'000, Milliseconds(55)};
+    case AppKind::kPim:
+      return {0.03, 0.45, 14LL * 1024 * 1024, 180'000, Milliseconds(28)};
+  }
+  return {0.05, 0.5, 16LL * 1024 * 1024, 100'000, Milliseconds(60)};
+}
+
+ResourceProfile SynthesizeProfile(AppKind kind, SimDuration length, Rng rng) {
+  const AppResourceParams params = ResourceParamsFor(kind);
+  ResourceProfile profile;
+  profile.event_burst = params.event_burst;
+  const auto n = static_cast<size_t>(std::max<int64_t>(1, length / profile.interval));
+  profile.intervals.reserve(n);
+
+  // Mean demand during an active interval such that the long-run mean matches mean_cpu.
+  const double active_mean = params.mean_cpu / params.active_fraction;
+  const double interval_seconds = ToSeconds(profile.interval);
+  int64_t resident = params.working_set_bytes / 3;  // starts partially resident
+  for (size_t i = 0; i < n; ++i) {
+    ResourceInterval out;
+    const bool active = rng.NextBool(params.active_fraction);
+    if (active) {
+      // Lognormal burstiness around the active mean, capped below one CPU.
+      const double sigma = 0.6;
+      const double mu = std::log(active_mean) - sigma * sigma / 2.0;
+      out.cpu_fraction = std::min(0.95, rng.NextLogNormal(mu, sigma));
+      // Bytes on the wire follow display activity, which tracks CPU activity.
+      const double net_scale = out.cpu_fraction / params.mean_cpu;
+      out.net_bytes = static_cast<int64_t>(params.mean_net_bps / 8.0 * interval_seconds *
+                                           net_scale * (0.5 + rng.NextDouble()));
+    } else {
+      out.cpu_fraction = 0.002 + 0.01 * rng.NextDouble();  // background daemons tick
+      out.net_bytes = static_cast<int64_t>(rng.NextBelow(256));
+    }
+    // Working set ratchets up toward its full size, with small fluctuations.
+    resident = std::min<int64_t>(
+        params.working_set_bytes,
+        resident + static_cast<int64_t>(rng.NextBelow(params.working_set_bytes / 40 + 1)));
+    out.resident_bytes =
+        resident - static_cast<int64_t>(rng.NextBelow(params.working_set_bytes / 50 + 1));
+    profile.intervals.push_back(out);
+  }
+  return profile;
+}
+
+}  // namespace slim

@@ -1,0 +1,55 @@
+// Per-process resource usage profiles (paper Section 6.1).
+//
+// The paper's tool sampled CPU cycles and resident memory of every process at five-second
+// intervals during the user studies and replayed those profiles through a load generator.
+// We synthesize statistically matched profiles: interval CPU demand is bursty (lognormal
+// around the app's measured mean with idle gaps), residency grows toward an app-specific
+// working set, and network bytes follow the Figure 8 averages.
+
+#ifndef SRC_LOADGEN_PROFILE_H_
+#define SRC_LOADGEN_PROFILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/apps/application.h"
+#include "src/util/rng.h"
+#include "src/util/time.h"
+
+namespace slim {
+
+struct ResourceInterval {
+  double cpu_fraction = 0.0;  // of one 300 MHz-class CPU, in [0, 1]
+  int64_t resident_bytes = 0;
+  int64_t net_bytes = 0;  // SLIM protocol bytes sent during the interval
+};
+
+struct ResourceProfile {
+  SimDuration interval = Seconds(5);
+  // CPU cost of one interactive event for this application (a Photoshop filter runs far
+  // longer than a PIM keystroke); the load generator replays demand in bursts of this size.
+  SimDuration event_burst = Milliseconds(60);
+  std::vector<ResourceInterval> intervals;
+
+  double AverageCpu() const;
+  int64_t PeakResidentBytes() const;
+  double AverageNetBps() const;
+};
+
+// The paper's measured per-application averages (Section 6.1 for CPU; memory and network
+// chosen to match the workloads' footprints and Figure 8 bandwidths).
+struct AppResourceParams {
+  double mean_cpu;            // fraction of one CPU
+  double active_fraction;     // fraction of intervals with meaningful activity
+  int64_t working_set_bytes;
+  double mean_net_bps;
+  SimDuration event_burst;    // CPU per interactive event
+};
+AppResourceParams ResourceParamsFor(AppKind kind);
+
+// Synthesizes a profile whose long-run averages match ResourceParamsFor(kind).
+ResourceProfile SynthesizeProfile(AppKind kind, SimDuration length, Rng rng);
+
+}  // namespace slim
+
+#endif  // SRC_LOADGEN_PROFILE_H_

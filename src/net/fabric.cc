@@ -1,0 +1,104 @@
+#include "src/net/fabric.h"
+
+#include <algorithm>
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace slim {
+
+Link::Link(Simulator* sim, LinkOptions options, Rng rng)
+    : sim_(sim), options_(options), rng_(rng) {
+  SLIM_CHECK(sim != nullptr);
+  SLIM_CHECK(options.bits_per_second > 0);
+}
+
+void Link::Send(Datagram dgram) {
+  const int64_t wire_bytes = static_cast<int64_t>(dgram.payload.size()) + kDatagramOverheadBytes;
+  if (queued_bytes_ + wire_bytes > options_.queue_limit_bytes) {
+    ++stats_.datagrams_dropped_queue;
+    return;
+  }
+  if (options_.loss_probability > 0.0 && rng_.NextBool(options_.loss_probability)) {
+    ++stats_.datagrams_dropped_loss;
+    return;
+  }
+  ++stats_.datagrams_sent;
+  stats_.bytes_sent += wire_bytes;
+  queued_bytes_ += wire_bytes;
+
+  const SimTime start = std::max(sim_->now(), busy_until_);
+  const SimTime done = start + TransmissionDelay(wire_bytes, options_.bits_per_second);
+  busy_until_ = done;
+  SimDuration extra = options_.propagation;
+  if (options_.reorder_jitter > 0) {
+    extra += static_cast<SimDuration>(rng_.NextBelow(static_cast<uint64_t>(
+        options_.reorder_jitter)));
+  }
+  sim_->ScheduleAt(done + extra, [this, d = std::move(dgram), wire_bytes]() mutable {
+    queued_bytes_ -= wire_bytes;
+    if (deliver_) {
+      deliver_(std::move(d));
+    }
+  });
+}
+
+Fabric::Fabric(Simulator* sim, FabricOptions options)
+    : sim_(sim), options_(options), rng_(0xfab41c) {
+  SLIM_CHECK(sim != nullptr);
+}
+
+NodeId Fabric::AddNode() { return AddNode(options_.link); }
+
+NodeId Fabric::AddNode(const LinkOptions& link_options) {
+  const NodeId id = static_cast<NodeId>(ports_.size());
+  auto port = std::make_unique<Port>();
+  LinkOptions up_options = link_options;
+  up_options.queue_limit_bytes = std::max(up_options.queue_limit_bytes,
+                                          options_.host_queue_bytes);
+  port->up = std::make_unique<Link>(sim_, up_options, rng_.Split());
+  port->down = std::make_unique<Link>(sim_, link_options, rng_.Split());
+  // The uplink terminates at the switch, which forwards onto the destination's downlink.
+  port->up->set_deliver([this](Datagram dgram) {
+    if (dgram.dst >= ports_.size()) {
+      ++misrouted_;
+      return;
+    }
+    ports_[dgram.dst]->down->Send(std::move(dgram));
+  });
+  // The downlink terminates at the node's receive callback.
+  Port* raw = port.get();
+  port->down->set_deliver([raw](Datagram dgram) {
+    if (raw->receive) {
+      raw->receive(std::move(dgram));
+    }
+  });
+  ports_.push_back(std::move(port));
+  return id;
+}
+
+void Fabric::SetReceiver(NodeId node, ReceiveFn fn) {
+  SLIM_CHECK(node < ports_.size());
+  ports_[node]->receive = std::move(fn);
+}
+
+void Fabric::Send(Datagram dgram) {
+  if (dgram.src >= ports_.size() || dgram.dst >= ports_.size()) {
+    ++misrouted_;
+    return;
+  }
+  ports_[dgram.src]->up->Send(std::move(dgram));
+}
+
+const LinkStats& Fabric::uplink_stats(NodeId node) const {
+  SLIM_CHECK(node < ports_.size());
+  return ports_[node]->up->stats();
+}
+
+const LinkStats& Fabric::downlink_stats(NodeId node) const {
+  SLIM_CHECK(node < ports_.size());
+  return ports_[node]->down->stats();
+}
+
+}  // namespace slim

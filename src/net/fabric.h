@@ -1,0 +1,132 @@
+// Simulated interconnection fabric (IF).
+//
+// Models the paper's deployment: every node (console or server) hangs off one switch port
+// over a dedicated full-duplex link. Each unidirectional link has a bandwidth, a propagation
+// delay and a bounded FIFO output queue; datagrams experience store-and-forward serialization
+// at the sender's link and again at the switch's egress port, which is exactly the contention
+// point exercised by the Figure 11 IF-sharing experiment. Optional per-link loss and
+// reordering injection exercise the protocol's replay path.
+
+#ifndef SRC_NET_FABRIC_H_
+#define SRC_NET_FABRIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+#include "src/util/time.h"
+
+namespace slim {
+
+using NodeId = uint32_t;
+constexpr NodeId kInvalidNode = 0xffffffff;
+
+// Ethernet + IP + UDP framing bytes charged to every datagram on the wire.
+constexpr int64_t kDatagramOverheadBytes = 46;
+
+// Conventional MTU; the transport fragments SLIM messages to fit.
+constexpr int64_t kMtuBytes = 1500;
+
+struct Datagram {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::vector<uint8_t> payload;
+};
+
+struct LinkOptions {
+  int64_t bits_per_second = 100'000'000;  // 100 Mbps, the paper's IF
+  SimDuration propagation = Microseconds(5);
+  int64_t queue_limit_bytes = 256 * 1024;
+  double loss_probability = 0.0;
+  // When > 0, each datagram's delivery is additionally delayed by uniform [0, jitter],
+  // which can reorder packets.
+  SimDuration reorder_jitter = 0;
+};
+
+struct LinkStats {
+  int64_t datagrams_sent = 0;
+  int64_t datagrams_dropped_queue = 0;
+  int64_t datagrams_dropped_loss = 0;
+  int64_t bytes_sent = 0;  // includes framing overhead
+};
+
+// One unidirectional link: serialization at `bits_per_second`, then propagation.
+class Link {
+ public:
+  using DeliverFn = std::function<void(Datagram)>;
+
+  Link(Simulator* sim, LinkOptions options, Rng rng);
+
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+  void Send(Datagram dgram);
+
+  const LinkStats& stats() const { return stats_; }
+  const LinkOptions& options() const { return options_; }
+
+  // Bytes currently queued behind the head of line (for tests and saturation checks).
+  int64_t queued_bytes() const { return queued_bytes_; }
+
+ private:
+  Simulator* sim_;
+  LinkOptions options_;
+  Rng rng_;
+  DeliverFn deliver_;
+  SimTime busy_until_ = 0;
+  int64_t queued_bytes_ = 0;
+  LinkStats stats_;
+};
+
+struct FabricOptions {
+  LinkOptions link;  // applied to every node<->switch link unless overridden per node
+  // The node->switch direction is fed by the sending host's kernel, whose socket buffers
+  // absorb bursts and backpressure the writer instead of dropping; we model that as a much
+  // deeper uplink queue. Drops under contention happen at switch egress ports (the `link`
+  // queue limit), which is where real switched ethernet loses packets.
+  int64_t host_queue_bytes = 8 * 1024 * 1024;
+};
+
+// Star topology around a single output-queued switch.
+class Fabric {
+ public:
+  using ReceiveFn = std::function<void(Datagram)>;
+
+  Fabric(Simulator* sim, FabricOptions options);
+
+  // Adds a node with the fabric-default link options.
+  NodeId AddNode();
+  // Adds a node whose two links (to and from the switch) use custom options; this is how the
+  // bandwidth-scaling experiments model a 1 Mbps home connection on an otherwise fast IF.
+  NodeId AddNode(const LinkOptions& link_options);
+
+  void SetReceiver(NodeId node, ReceiveFn fn);
+
+  // Sends from dgram.src to dgram.dst. Unknown nodes are dropped silently (counted).
+  void Send(Datagram dgram);
+
+  Simulator* simulator() { return sim_; }
+
+  // Aggregated stats.
+  const LinkStats& uplink_stats(NodeId node) const;    // node -> switch
+  const LinkStats& downlink_stats(NodeId node) const;  // switch -> node
+  int64_t datagrams_misrouted() const { return misrouted_; }
+
+ private:
+  struct Port {
+    std::unique_ptr<Link> up;    // node -> switch
+    std::unique_ptr<Link> down;  // switch -> node
+    ReceiveFn receive;
+  };
+
+  Simulator* sim_;
+  FabricOptions options_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  int64_t misrouted_ = 0;
+};
+
+}  // namespace slim
+
+#endif  // SRC_NET_FABRIC_H_

@@ -1,0 +1,294 @@
+#include "src/net/transport.h"
+
+#include <algorithm>
+
+#include "src/protocol/wire.h"
+#include "src/util/check.h"
+
+namespace slim {
+
+namespace {
+
+constexpr uint8_t kFragmentMagic = 0x5f;
+constexpr uint8_t kBatchMagic = 0x5e;
+constexpr size_t kFragmentHeaderBytes = 1 + 2 + 2 + 8;  // magic, index, count, msg_seq
+constexpr size_t kMaxFragmentPayload =
+    static_cast<size_t>(kMtuBytes) - kFragmentHeaderBytes;
+// Batch datagram: magic, session, item count; then per item: type, payload length, seq.
+constexpr size_t kBatchHeaderBytes = 1 + 4 + 2;
+constexpr size_t kBatchItemHeaderBytes = 1 + 2 + 8;
+// Only messages small enough to share a datagram with at least one sibling are batched.
+constexpr size_t kMaxBatchableBody = 500;
+
+}  // namespace
+
+SlimEndpoint::SlimEndpoint(Fabric* fabric, NodeId self, EndpointOptions options)
+    : fabric_(fabric), self_(self), options_(options) {
+  SLIM_CHECK(fabric != nullptr);
+  fabric_->SetReceiver(self_, [this](Datagram dgram) { OnDatagram(std::move(dgram)); });
+}
+
+uint64_t SlimEndpoint::Send(NodeId peer, uint32_t session_id, MessageBody body) {
+  Message msg;
+  msg.session_id = session_id;
+  const bool is_nack = std::holds_alternative<NackMsg>(body);
+  msg.seq = is_nack ? 0 : ++next_seq_[peer];
+  msg.body = std::move(body);
+  const std::vector<uint8_t> bytes = SerializeMessage(msg);
+  ++stats_.messages_sent;
+  stats_.bytes_sent += static_cast<int64_t>(bytes.size());
+  if (!is_nack) {
+    // Replay history stores the full framing so a NACKed message replays standalone even if
+    // it was originally batched.
+    history_.emplace_back(msg.seq, bytes);
+    while (history_.size() > options_.replay_history) {
+      history_.pop_front();
+    }
+  }
+  if (options_.enable_batching && !is_nack) {
+    if (bytes.size() - kMessageHeaderBytes <= kMaxBatchableBody) {
+      AppendToBatch(peer, session_id, msg.seq, msg.body);
+      return msg.seq;
+    }
+    // A large message bypasses the batch; anything still held must go first so display
+    // commands arrive in the order they were issued.
+    FlushBatch(peer);
+  }
+  SendSerialized(peer, msg.seq, bytes);
+  return msg.seq;
+}
+
+void SlimEndpoint::AppendToBatch(NodeId peer, uint32_t session_id, uint64_t seq,
+                                 const MessageBody& body) {
+  Batch& batch = batches_[peer];
+  if (!batch.items.empty() && batch.session_id != session_id) {
+    FlushBatch(peer);  // one session per batch keeps the compressed header tiny
+  }
+  BatchItem item;
+  item.type = TypeOfBody(body);
+  item.seq = seq;
+  item.payload = SerializeMessageBody(body);
+  const size_t item_bytes = kBatchItemHeaderBytes + item.payload.size();
+  if (kBatchHeaderBytes + batch.bytes + item_bytes > static_cast<size_t>(kMtuBytes)) {
+    FlushBatch(peer);
+  }
+  Batch& fresh = batches_[peer];
+  fresh.session_id = session_id;
+  fresh.items.push_back(std::move(item));
+  fresh.bytes += item_bytes;
+  ++stats_.messages_batched;
+  if (fresh.flush_event == kInvalidEventId) {
+    fresh.flush_event = fabric_->simulator()->Schedule(options_.batch_delay,
+                                                       [this, peer] { FlushBatch(peer); });
+  }
+}
+
+void SlimEndpoint::FlushBatch(NodeId peer) {
+  const auto it = batches_.find(peer);
+  if (it == batches_.end() || it->second.items.empty()) {
+    return;
+  }
+  Batch batch = std::move(it->second);
+  batches_.erase(it);
+  if (batch.flush_event != kInvalidEventId) {
+    fabric_->simulator()->Cancel(batch.flush_event);
+  }
+  ByteWriter w;
+  w.U8(kBatchMagic);
+  w.U32(batch.session_id);
+  w.U16(static_cast<uint16_t>(batch.items.size()));
+  for (const BatchItem& item : batch.items) {
+    w.U8(static_cast<uint8_t>(item.type));
+    w.U16(static_cast<uint16_t>(item.payload.size()));
+    w.U64(item.seq);
+    w.Bytes(item.payload);
+  }
+  Datagram dgram;
+  dgram.src = self_;
+  dgram.dst = peer;
+  dgram.payload = w.Take();
+  ++stats_.batches_sent;
+  ++stats_.fragments_sent;
+  fabric_->Send(std::move(dgram));
+}
+
+void SlimEndpoint::OnBatchDatagram(const Datagram& dgram) {
+  ByteReader r(dgram.payload);
+  r.U8();  // magic, already checked
+  const uint32_t session_id = r.U32();
+  const uint16_t count = r.U16();
+  for (uint16_t i = 0; i < count; ++i) {
+    const auto type = static_cast<MessageType>(r.U8());
+    const uint16_t len = r.U16();
+    const uint64_t seq = r.U64();
+    const std::vector<uint8_t> payload = r.Bytes(len);
+    if (!r.ok()) {
+      ++stats_.reassembly_failures;
+      return;
+    }
+    auto body = ParseMessageBody(type, payload);
+    if (!body.has_value()) {
+      ++stats_.reassembly_failures;
+      return;
+    }
+    // Re-frame and route through the common delivery path (dedup, NACK tracking).
+    Message msg;
+    msg.session_id = session_id;
+    msg.seq = seq;
+    msg.body = std::move(*body);
+    DeliverMessage(SerializeMessage(msg), dgram.src);
+  }
+}
+
+void SlimEndpoint::SendSerialized(NodeId peer, uint64_t msg_seq,
+                                  const std::vector<uint8_t>& bytes) {
+  const size_t frag_count = std::max<size_t>(1, (bytes.size() + kMaxFragmentPayload - 1) /
+                                                    kMaxFragmentPayload);
+  SLIM_CHECK(frag_count <= 0xffff);
+  for (size_t i = 0; i < frag_count; ++i) {
+    const size_t offset = i * kMaxFragmentPayload;
+    const size_t len = std::min(kMaxFragmentPayload, bytes.size() - offset);
+    ByteWriter w;
+    w.U8(kFragmentMagic);
+    w.U16(static_cast<uint16_t>(i));
+    w.U16(static_cast<uint16_t>(frag_count));
+    w.U64(msg_seq);
+    w.Bytes(std::span<const uint8_t>(bytes).subspan(offset, len));
+    Datagram dgram;
+    dgram.src = self_;
+    dgram.dst = peer;
+    dgram.payload = w.Take();
+    ++stats_.fragments_sent;
+    fabric_->Send(std::move(dgram));
+  }
+}
+
+void SlimEndpoint::OnDatagram(Datagram dgram) {
+  if (!dgram.payload.empty() && dgram.payload[0] == kBatchMagic) {
+    OnBatchDatagram(dgram);
+    return;
+  }
+  ByteReader r(dgram.payload);
+  if (r.U8() != kFragmentMagic) {
+    ++stats_.reassembly_failures;
+    return;
+  }
+  const uint16_t index = r.U16();
+  const uint16_t count = r.U16();
+  const uint64_t msg_seq = r.U64();
+  if (!r.ok() || count == 0 || index >= count) {
+    ++stats_.reassembly_failures;
+    return;
+  }
+  ++stats_.fragments_received;
+  std::vector<uint8_t> data = r.Bytes(r.remaining());
+
+  if (count == 1) {
+    DeliverMessage(std::move(data), dgram.src);
+    return;
+  }
+
+  const auto key = std::make_pair(dgram.src, msg_seq);
+  Reassembly& ctx = reasm_[key];
+  if (ctx.frag_count == 0) {
+    ctx.frag_count = count;
+    ctx.fragments.resize(count);
+  }
+  if (ctx.frag_count != count) {
+    ++stats_.reassembly_failures;
+    reasm_.erase(key);
+    return;
+  }
+  if (!ctx.fragments[index].has_value()) {
+    ctx.fragments[index] = std::move(data);
+    ++ctx.received;
+  }
+  if (ctx.received == ctx.frag_count) {
+    std::vector<uint8_t> whole;
+    for (auto& frag : ctx.fragments) {
+      whole.insert(whole.end(), frag->begin(), frag->end());
+    }
+    reasm_.erase(key);
+    DeliverMessage(std::move(whole), dgram.src);
+  } else if (reasm_.size() > options_.max_reassembly) {
+    reasm_.erase(reasm_.begin());
+  }
+}
+
+void SlimEndpoint::DeliverMessage(std::vector<uint8_t> bytes, NodeId from) {
+  std::optional<Message> msg = ParseMessage(bytes);
+  if (!msg.has_value()) {
+    ++stats_.reassembly_failures;
+    return;
+  }
+  if (std::holds_alternative<NackMsg>(msg->body)) {
+    HandleNack(std::get<NackMsg>(msg->body), from);
+    return;
+  }
+  if (msg->seq != 0) {
+    auto& delivered = recent_delivered_[from];
+    if (delivered.count(msg->seq) > 0) {
+      ++stats_.duplicate_messages;
+      return;  // Idempotent replay: already applied, drop quietly.
+    }
+    delivered.insert(msg->seq);
+    while (delivered.size() > 1024) {
+      delivered.erase(delivered.begin());
+    }
+    PeerRecvState& state = recv_state_[from];
+    if (msg->seq > state.max_seq) {
+      // Sequences start at 1, so anything between the last maximum and this message was
+      // lost (or is still in flight; a spurious NACK is harmless, replay is idempotent).
+      for (uint64_t s = state.max_seq + 1; s < msg->seq && state.missing.size() < 512; ++s) {
+        state.missing.insert(s);
+      }
+      state.max_seq = msg->seq;
+    } else {
+      state.missing.erase(msg->seq);
+    }
+    if (options_.enable_nack) {
+      MaybeSendNack(from, msg->session_id, state);
+    }
+  }
+  ++stats_.messages_received;
+  if (handler_) {
+    handler_(*msg, from);
+  }
+}
+
+void SlimEndpoint::MaybeSendNack(NodeId peer, uint32_t session_id, PeerRecvState& state) {
+  // Give up on sequences that have fallen out of any plausible replay history; the display
+  // stream is self-correcting (a later full repaint supersedes lost updates).
+  while (!state.missing.empty() &&
+         *state.missing.begin() + options_.replay_history < state.max_seq) {
+    state.missing.erase(state.missing.begin());
+  }
+  if (state.missing.empty()) {
+    return;
+  }
+  const SimTime now = fabric_->simulator()->now();
+  if (now - state.last_nack_at < Milliseconds(5)) {
+    return;  // Rate-limit: one outstanding request per RTT-ish window.
+  }
+  state.last_nack_at = now;
+  // Request the oldest contiguous missing range.
+  const uint64_t first = *state.missing.begin();
+  uint64_t last = first;
+  for (auto it = std::next(state.missing.begin());
+       it != state.missing.end() && *it == last + 1; ++it) {
+    last = *it;
+  }
+  ++stats_.nacks_sent;
+  Send(peer, session_id, NackMsg{first, last});
+}
+
+void SlimEndpoint::HandleNack(const NackMsg& nack, NodeId from) {
+  for (const auto& [seq, bytes] : history_) {
+    if (seq >= nack.first_seq && seq <= nack.last_seq) {
+      ++stats_.replays_sent;
+      SendSerialized(from, seq, bytes);
+    }
+  }
+}
+
+}  // namespace slim

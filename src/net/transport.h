@@ -1,0 +1,126 @@
+// SLIM message transport over the unreliable datagram fabric.
+//
+// Mirrors the Sun Ray 1's UDP/IP transport (Section 2.2): no reliable stream, no
+// stop-and-wait. Messages are fragmented to the MTU, reassembled by (source, sequence), and
+// sequence gaps trigger a NACK asking the sender to replay from its bounded history —
+// application-specific recovery that works because every SLIM message is idempotent.
+
+#ifndef SRC_NET_TRANSPORT_H_
+#define SRC_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/net/fabric.h"
+#include "src/protocol/messages.h"
+
+namespace slim {
+
+struct TransportStats {
+  int64_t messages_sent = 0;
+  int64_t messages_batched = 0;
+  int64_t batches_sent = 0;
+  int64_t messages_received = 0;
+  int64_t duplicate_messages = 0;
+  int64_t bytes_sent = 0;  // serialized message bytes, before datagram framing
+  int64_t fragments_sent = 0;
+  int64_t fragments_received = 0;
+  int64_t reassembly_failures = 0;
+  int64_t nacks_sent = 0;
+  int64_t replays_sent = 0;
+};
+
+struct EndpointOptions {
+  // How many recent messages the sender retains for NACK replay.
+  size_t replay_history = 512;
+  // Reassembly contexts kept live before the oldest is abandoned.
+  size_t max_reassembly = 64;
+  // Sequence tracking / NACK generation on gaps (can be disabled for ablation).
+  bool enable_nack = true;
+
+  // Section 5.4's proposed low-bandwidth optimizations, off by default (the Sun Ray 1 did
+  // not ship them): small messages bound for the same peer are held for up to batch_delay
+  // and coalesced into one datagram with compressed 11-byte per-message headers, instead of
+  // one 20-byte header plus ~59 bytes of datagram/fragment framing each.
+  bool enable_batching = false;
+  SimDuration batch_delay = Milliseconds(5);
+};
+
+class SlimEndpoint {
+ public:
+  // The handler receives fully reassembled, parsed messages. `from` is the fabric node that
+  // sent them.
+  using MessageHandler = std::function<void(const Message&, NodeId from)>;
+
+  SlimEndpoint(Fabric* fabric, NodeId self, EndpointOptions options = {});
+
+  NodeId node() const { return self_; }
+  void set_handler(MessageHandler handler) { handler_ = std::move(handler); }
+
+  // Serializes, fragments and sends. Assigns the next sequence number for (peer) unless the
+  // body is itself a NACK (control traffic is unsequenced: seq 0). Returns the seq used.
+  uint64_t Send(NodeId peer, uint32_t session_id, MessageBody body);
+
+  const TransportStats& stats() const { return stats_; }
+
+ private:
+  struct Reassembly {
+    uint16_t frag_count = 0;
+    std::vector<std::optional<std::vector<uint8_t>>> fragments;
+    size_t received = 0;
+  };
+
+  void OnDatagram(Datagram dgram);
+  void DeliverMessage(std::vector<uint8_t> bytes, NodeId from);
+  void SendSerialized(NodeId peer, uint64_t msg_seq, const std::vector<uint8_t>& bytes);
+  void HandleNack(const NackMsg& nack, NodeId from);
+
+  // --- Batching (Section 5.4 optimizations) ---
+  struct BatchItem {
+    MessageType type = MessageType::kPing;
+    uint64_t seq = 0;
+    std::vector<uint8_t> payload;
+  };
+  struct Batch {
+    uint32_t session_id = 0;
+    std::vector<BatchItem> items;
+    size_t bytes = 0;
+    EventId flush_event = kInvalidEventId;
+  };
+  void AppendToBatch(NodeId peer, uint32_t session_id, uint64_t seq, const MessageBody& body);
+  void FlushBatch(NodeId peer);
+  void OnBatchDatagram(const Datagram& dgram);
+
+  Fabric* fabric_;
+  NodeId self_;
+  EndpointOptions options_;
+  MessageHandler handler_;
+  TransportStats stats_;
+
+  // Per-peer receive-side gap tracking: highest seq seen plus the set of missing seqs below
+  // it. Missing ranges are re-NACKed (rate-limited) on later deliveries, so a lost NACK or a
+  // lost replay gets another chance — the paper's "application-specific error recovery".
+  struct PeerRecvState {
+    uint64_t max_seq = 0;
+    std::set<uint64_t> missing;
+    SimTime last_nack_at = -kSecond;
+  };
+
+  void MaybeSendNack(NodeId peer, uint32_t session_id, PeerRecvState& state);
+
+  std::map<NodeId, uint64_t> next_seq_;  // per-peer send sequence
+  std::map<NodeId, PeerRecvState> recv_state_;
+  std::map<std::pair<NodeId, uint64_t>, Reassembly> reasm_;
+  std::deque<std::pair<uint64_t, std::vector<uint8_t>>> history_;  // (seq, serialized)
+  std::map<NodeId, std::set<uint64_t>> recent_delivered_;   // duplicate suppression window
+  std::map<NodeId, Batch> batches_;  // pending per-peer batches when batching is enabled
+};
+
+}  // namespace slim
+
+#endif  // SRC_NET_TRANSPORT_H_

@@ -1,0 +1,96 @@
+#include "src/protocol/commands.h"
+
+#include "src/protocol/messages.h"
+#include "src/util/check.h"
+
+namespace slim {
+
+const char* CommandTypeName(CommandType type) {
+  switch (type) {
+    case CommandType::kSet:
+      return "SET";
+    case CommandType::kBitmap:
+      return "BITMAP";
+    case CommandType::kFill:
+      return "FILL";
+    case CommandType::kCopy:
+      return "COPY";
+    case CommandType::kCscs:
+      return "CSCS";
+  }
+  return "?";
+}
+
+CommandType TypeOf(const DisplayCommand& cmd) {
+  return std::visit(
+      [](const auto& c) -> CommandType {
+        using T = std::decay_t<decltype(c)>;
+        if constexpr (std::is_same_v<T, SetCommand>) {
+          return CommandType::kSet;
+        } else if constexpr (std::is_same_v<T, BitmapCommand>) {
+          return CommandType::kBitmap;
+        } else if constexpr (std::is_same_v<T, FillCommand>) {
+          return CommandType::kFill;
+        } else if constexpr (std::is_same_v<T, CopyCommand>) {
+          return CommandType::kCopy;
+        } else {
+          return CommandType::kCscs;
+        }
+      },
+      cmd);
+}
+
+Rect DestinationOf(const DisplayCommand& cmd) {
+  return std::visit([](const auto& c) { return c.dst; }, cmd);
+}
+
+int64_t AffectedPixels(const DisplayCommand& cmd) { return DestinationOf(cmd).area(); }
+
+namespace {
+
+size_t PayloadSize(const DisplayCommand& cmd) {
+  return std::visit(
+      [](const auto& c) -> size_t {
+        using T = std::decay_t<decltype(c)>;
+        if constexpr (std::is_same_v<T, SetCommand>) {
+          return 16 + c.rgb.size();
+        } else if constexpr (std::is_same_v<T, BitmapCommand>) {
+          return 16 + 8 + c.bits.size();
+        } else if constexpr (std::is_same_v<T, FillCommand>) {
+          return 16 + 4;
+        } else if constexpr (std::is_same_v<T, CopyCommand>) {
+          return 8 + 16;
+        } else {
+          return 8 + 16 + 1 + c.payload.size();
+        }
+      },
+      cmd);
+}
+
+}  // namespace
+
+size_t WireSize(const DisplayCommand& cmd) { return kMessageHeaderBytes + PayloadSize(cmd); }
+
+int64_t UncompressedBytes(const DisplayCommand& cmd) { return AffectedPixels(cmd) * 3; }
+
+std::vector<Pixel> UnpackRgb(std::span<const uint8_t> rgb) {
+  SLIM_CHECK(rgb.size() % 3 == 0);
+  std::vector<Pixel> out(rgb.size() / 3);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = MakePixel(rgb[i * 3], rgb[i * 3 + 1], rgb[i * 3 + 2]);
+  }
+  return out;
+}
+
+std::vector<uint8_t> PackRgb(std::span<const Pixel> pixels) {
+  std::vector<uint8_t> out;
+  out.reserve(pixels.size() * 3);
+  for (const Pixel p : pixels) {
+    out.push_back(PixelR(p));
+    out.push_back(PixelG(p));
+    out.push_back(PixelB(p));
+  }
+  return out;
+}
+
+}  // namespace slim

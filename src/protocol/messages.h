@@ -1,0 +1,143 @@
+// Complete SLIM protocol message set.
+//
+// Besides the five display commands, the protocol carries keyboard/mouse state, audio,
+// console status, bandwidth allocation requests (Section 7), session control for the
+// smart-card hotdesking model, and NACK-based replay requests for the unreliable transport
+// (Section 2.2: all messages carry unique identifiers and can be replayed with no ill
+// effects).
+
+#ifndef SRC_PROTOCOL_MESSAGES_H_
+#define SRC_PROTOCOL_MESSAGES_H_
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "src/protocol/commands.h"
+
+namespace slim {
+
+enum class MessageType : uint8_t {
+  // Display commands reuse the CommandType values 1..5.
+  kSet = 1,
+  kBitmap = 2,
+  kFill = 3,
+  kCopy = 4,
+  kCscs = 5,
+  // Console -> server.
+  kKeyEvent = 16,
+  kMouseEvent = 17,
+  kStatus = 18,
+  kNack = 19,
+  kSessionAttach = 20,   // smart card inserted
+  kSessionDetach = 21,   // smart card removed
+  kBandwidthRequest = 22,
+  // Server -> console (non-display).
+  kAudio = 32,
+  kBandwidthGrant = 33,
+  kPing = 34,
+  kPong = 35,
+};
+
+struct KeyEventMsg {
+  uint32_t keycode = 0;
+  bool pressed = true;
+  bool operator==(const KeyEventMsg&) const = default;
+};
+
+struct MouseEventMsg {
+  int32_t x = 0;
+  int32_t y = 0;
+  uint8_t buttons = 0;  // bitmask of pressed buttons
+  bool is_motion = false;
+  bool operator==(const MouseEventMsg&) const = default;
+};
+
+struct StatusMsg {
+  uint32_t code = 0;
+  uint64_t last_seq_seen = 0;
+  bool operator==(const StatusMsg&) const = default;
+};
+
+// Request replay of messages in [first_seq, last_seq]; idempotent application makes replay
+// safe even if some of them did arrive.
+struct NackMsg {
+  uint64_t first_seq = 0;
+  uint64_t last_seq = 0;
+  bool operator==(const NackMsg&) const = default;
+};
+
+struct SessionAttachMsg {
+  uint64_t card_id = 0;  // smart card identity presented at the console
+  bool operator==(const SessionAttachMsg&) const = default;
+};
+
+struct SessionDetachMsg {
+  uint64_t card_id = 0;
+  bool operator==(const SessionDetachMsg&) const = default;
+};
+
+struct BandwidthRequestMsg {
+  uint64_t flow_id = 0;
+  int64_t bits_per_second = 0;
+  bool operator==(const BandwidthRequestMsg&) const = default;
+};
+
+struct BandwidthGrantMsg {
+  uint64_t flow_id = 0;
+  int64_t bits_per_second = 0;
+  bool operator==(const BandwidthGrantMsg&) const = default;
+};
+
+struct AudioMsg {
+  uint32_t sample_rate = 8000;
+  std::vector<uint8_t> samples;
+  bool operator==(const AudioMsg&) const = default;
+};
+
+struct PingMsg {
+  uint64_t payload = 0;
+  bool operator==(const PingMsg&) const = default;
+};
+
+struct PongMsg {
+  uint64_t payload = 0;
+  bool operator==(const PongMsg&) const = default;
+};
+
+using MessageBody =
+    std::variant<SetCommand, BitmapCommand, FillCommand, CopyCommand, CscsCommand, KeyEventMsg,
+                 MouseEventMsg, StatusMsg, NackMsg, SessionAttachMsg, SessionDetachMsg,
+                 BandwidthRequestMsg, BandwidthGrantMsg, AudioMsg, PingMsg, PongMsg>;
+
+struct Message {
+  uint32_t session_id = 0;
+  uint64_t seq = 0;  // unique, monotonically increasing per session and direction
+  MessageBody body;
+};
+
+MessageType TypeOfMessage(const Message& msg);
+bool IsDisplayCommand(const Message& msg);
+
+// Wire format: u8 magic, u8 type, u16 reserved, u32 session, u64 seq, u32 payload length,
+// payload. Total header size is kMessageHeaderBytes.
+constexpr size_t kMessageHeaderBytes = 20;
+constexpr uint8_t kMessageMagic = 0xA5;
+
+std::vector<uint8_t> SerializeMessage(const Message& msg);
+std::optional<Message> ParseMessage(std::span<const uint8_t> data);
+
+// Serialized size without actually serializing (used by traffic accounting hot paths).
+size_t MessageWireSize(const Message& msg);
+
+// Body-level (de)serialization without the 20-byte message header; used by the transport's
+// batching mode (Section 5.4's "header compression and batching of command packets").
+std::vector<uint8_t> SerializeMessageBody(const MessageBody& body);
+std::optional<MessageBody> ParseMessageBody(MessageType type,
+                                            std::span<const uint8_t> payload);
+MessageType TypeOfBody(const MessageBody& body);
+
+}  // namespace slim
+
+#endif  // SRC_PROTOCOL_MESSAGES_H_

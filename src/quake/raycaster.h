@@ -1,0 +1,82 @@
+// Software 3-D raycasting engine (paper Section 7.3 substitute for Quake).
+//
+// A real renderer, not a canned trace: textured walls over a 2-D occupancy grid via DDA
+// raycasting, distance shading, and solid floor/ceiling bands — rendered into 8-bit
+// indexed-color frames against a 256-entry RGB palette, exactly the output format the paper
+// had access to ("we only had access to the code which puts pixels on the display" — 8-bit
+// indexed pixels plus a colormap). The frames then go through the same palette->YUV
+// translation layer the paper built.
+
+#ifndef SRC_QUAKE_RAYCASTER_H_
+#define SRC_QUAKE_RAYCASTER_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/color/yuv.h"
+#include "src/fb/framebuffer.h"
+
+namespace slim {
+
+struct Camera {
+  double x = 0.0;
+  double y = 0.0;
+  double angle = 0.0;  // radians
+  double fov = 1.1;    // horizontal field of view, radians
+};
+
+class RaycastEngine {
+ public:
+  RaycastEngine(int32_t width, int32_t height, uint64_t seed = 0x9a4e);
+
+  int32_t width() const { return width_; }
+  int32_t height() const { return height_; }
+  const std::array<Pixel, 256>& palette() const { return palette_; }
+
+  // Renders one frame of indexed pixels (row-major, width*height bytes).
+  std::vector<uint8_t> RenderFrame(const Camera& camera) const;
+
+  // A deterministic demo path through the map (what our "player" does).
+  Camera DemoCamera(int frame) const;
+
+  // True if (x, y) is inside a wall (for tests and camera clamping).
+  bool IsWall(double x, double y) const;
+
+  // Approximate scene complexity of a frame in [0.5, 1.5]: nearer walls cost the engine
+  // more (overdraw); used to vary the per-frame render cost like real scenes do.
+  double SceneComplexity(const Camera& camera) const;
+
+ private:
+  static constexpr int kMapSize = 24;
+  static constexpr int kTextureSize = 64;
+  static constexpr int kWallKinds = 4;
+  static constexpr int kShades = 8;
+
+  uint8_t TextureIndex(int wall_kind, int32_t u, int32_t v, int shade) const;
+
+  int32_t width_;
+  int32_t height_;
+  std::array<std::array<uint8_t, kMapSize>, kMapSize> map_;
+  std::array<Pixel, 256> palette_;
+  // Per wall kind, a 64x64 texture of palette *base* indices (before shading).
+  std::vector<uint8_t> textures_;
+};
+
+// The Section 7.3 translation layer: an RGB colormap is turned into a YUV lookup table once
+// per palette, and each frame's 8-bit pixels become 4:2:0-subsampled YUV via table lookup.
+class YuvTranslationLayer {
+ public:
+  explicit YuvTranslationLayer(const std::array<Pixel, 256>& palette);
+
+  // Full-resolution YUV image ready for CSCS packing (5 bpp in the paper's setup).
+  YuvImage Translate(std::span<const uint8_t> indices, int32_t w, int32_t h) const;
+
+ private:
+  std::array<Yuv, 256> lut_;
+};
+
+}  // namespace slim
+
+#endif  // SRC_QUAKE_RAYCASTER_H_

@@ -1,0 +1,56 @@
+// Server-side processing cost model.
+//
+// Calibrated against a ~300 MHz UltraSPARC-II running the paper's modified X-server. These
+// constants drive (a) the Table 4 stand-alone results — the x11perf-style figure of merit
+// with and without wire transmission and the 550 us echo path — and (b) the Section 5.5
+// claim that SLIM encoding adds only ~1.7% to the X-server's execution time.
+
+#ifndef SRC_SERVER_CPU_MODEL_H_
+#define SRC_SERVER_CPU_MODEL_H_
+
+#include <cstdint>
+
+#include "src/util/time.h"
+
+namespace slim {
+
+struct ServerCpuModel {
+  // Request dispatch: protocol parsing, clipping, GC validation per drawing request.
+  SimDuration per_request = Microseconds(12);
+  // Software rasterization into the virtual framebuffer.
+  double render_ns_per_pixel = 6.0;
+  double render_ns_per_glyph = 900.0;
+  // Screen-to-screen copies move words without rasterizing: much cheaper per pixel.
+  double copy_ns_per_pixel = 1.5;
+  // SLIM virtual device driver: damage analysis and command generation.
+  SimDuration encode_per_command = Microseconds(3);
+  double encode_ns_per_pixel = 1.2;
+  // Network transmission CPU cost: a fixed per-send cost (socket call, header build,
+  // driver handoff) plus a per-byte cost (copy + checksum). This is what x11perf loses when
+  // display data actually goes out on the IF (3.834 vs 7.505 Xmarks).
+  SimDuration per_send = Microseconds(45);
+  double wire_ns_per_byte = 70.0;
+  // Input event delivery to the application (device driver + event queue).
+  SimDuration input_dispatch = Microseconds(80);
+
+  SimDuration RenderCost(int64_t pixels, int glyphs = 0) const {
+    return per_request +
+           static_cast<SimDuration>(render_ns_per_pixel * static_cast<double>(pixels)) +
+           static_cast<SimDuration>(render_ns_per_glyph * glyphs);
+  }
+  SimDuration CopyCost(int64_t pixels) const {
+    return per_request +
+           static_cast<SimDuration>(copy_ns_per_pixel * static_cast<double>(pixels));
+  }
+  SimDuration EncodeCost(int64_t pixels, int commands) const {
+    return encode_per_command * commands +
+           static_cast<SimDuration>(encode_ns_per_pixel * static_cast<double>(pixels));
+  }
+  SimDuration WireCost(int64_t bytes) const {
+    return per_send + static_cast<SimDuration>(wire_ns_per_byte * static_cast<double>(bytes));
+  }
+};
+
+}  // namespace slim
+
+#endif  // SRC_SERVER_CPU_MODEL_H_

@@ -1,0 +1,183 @@
+#include "src/server/session.h"
+
+#include "src/server/slim_server.h"
+#include "src/util/check.h"
+#include "src/xproto/xcost.h"
+
+namespace slim {
+
+ServerSession::ServerSession(SlimServer* server, uint32_t id, int32_t width, int32_t height,
+                             EncoderOptions encoder_options)
+    : server_(server), id_(id), fb_(width, height), encoder_(encoder_options) {
+  SLIM_CHECK(server != nullptr);
+}
+
+Simulator* ServerSession::simulator() { return server_->simulator(); }
+
+void ServerSession::AttachConsole(NodeId console) {
+  console_ = console;
+  RepaintAll();
+  Flush();
+}
+
+void ServerSession::DetachConsole() { console_ = kInvalidNode; }
+
+void ServerSession::DeliverInput(const Message& msg) {
+  const SimTime now = server_->simulator()->now();
+  if (const auto* key = std::get_if<KeyEventMsg>(&msg.body)) {
+    if (key->pressed) {
+      log_.RecordInput(now, /*is_key=*/true);
+      // Under X the keystroke is delivered to the client as a 32-byte event.
+      log_.RecordXRequest(now, XEventBytes());
+    }
+  } else if (const auto* mouse = std::get_if<MouseEventMsg>(&msg.body)) {
+    if (!mouse->is_motion && mouse->buttons != 0) {
+      log_.RecordInput(now, /*is_key=*/false);
+      log_.RecordXRequest(now, XEventBytes());
+    }
+  }
+  if (input_handler_) {
+    input_handler_(msg);
+  }
+}
+
+void ServerSession::FillRect(const Rect& r, Pixel color) {
+  const Rect clipped = Intersect(r, fb_.bounds());
+  if (clipped.empty()) {
+    return;
+  }
+  const SimTime now = server_->simulator()->now();
+  render_time_ += server_->options().cpu.RenderCost(clipped.area());
+  log_.RecordXRequest(now, XFillRectBytes());
+  fb_.Fill(clipped, color);
+  // Fills pass straight through the driver: the rectangle is already in protocol form.
+  damage_.Subtract(clipped);
+  QueueCommand(FillCommand{clipped, color});
+}
+
+void ServerSession::DrawGlyphs(int32_t x, int32_t y, std::span<const GlyphBitmap* const> glyphs,
+                               Pixel fg, Pixel bg) {
+  const SimTime now = server_->simulator()->now();
+  int32_t pen_x = x;
+  Rect dirty{};
+  for (const GlyphBitmap* glyph : glyphs) {
+    SLIM_DCHECK(glyph != nullptr);
+    const Rect dst{pen_x, y, glyph->width, glyph->height};
+    fb_.ExpandBitmap(dst, glyph->bits, fg, bg);
+    dirty = BoundingUnion(dirty, Intersect(dst, fb_.bounds()));
+    pen_x += glyph->width;
+  }
+  if (!dirty.empty()) {
+    damage_.Add(dirty);
+  }
+  render_time_ +=
+      server_->options().cpu.RenderCost(dirty.area(), static_cast<int>(glyphs.size()));
+  log_.RecordXRequest(now, XDrawTextBytes(static_cast<int>(glyphs.size())));
+}
+
+void ServerSession::PutImage(const Rect& r, std::span<const Pixel> pixels) {
+  const Rect clipped = Intersect(r, fb_.bounds());
+  if (clipped.empty()) {
+    return;
+  }
+  const SimTime now = server_->simulator()->now();
+  fb_.SetPixels(r, pixels);
+  damage_.Add(clipped);
+  render_time_ += server_->options().cpu.RenderCost(clipped.area());
+  log_.RecordXRequest(now, XPutImageBytes(clipped.area()));
+}
+
+void ServerSession::CopyArea(int32_t src_x, int32_t src_y, const Rect& dst) {
+  const Rect clipped = Intersect(dst, fb_.bounds());
+  if (clipped.empty()) {
+    return;
+  }
+  const SimTime now = server_->simulator()->now();
+  // The copy reads the current screen, so any not-yet-encoded damage must be encoded first
+  // to keep the console's command stream in order.
+  EncodeDamageToPending();
+  fb_.CopyRect(src_x, src_y, clipped);
+  render_time_ += server_->options().cpu.CopyCost(clipped.area());
+  log_.RecordXRequest(now, XCopyAreaBytes());
+  QueueCommand(CopyCommand{src_x, src_y, clipped});
+}
+
+void ServerSession::SendVideoFrame(const YuvImage& frame, const Rect& dst, CscsDepth depth) {
+  const SimTime now = server_->simulator()->now();
+  CscsCommand cmd;
+  cmd.src_w = frame.width();
+  cmd.src_h = frame.height();
+  cmd.dst = Intersect(dst, fb_.bounds());
+  cmd.depth = depth;
+  cmd.payload = PackCscsPayload(frame, depth);
+  if (cmd.dst.empty()) {
+    return;
+  }
+  // Keep the server's true framebuffer in sync with what the console will display.
+  fb_.SetPixels(cmd.dst, YuvToRgbScaled(UnpackCscsPayload(cmd.payload, cmd.src_w, cmd.src_h,
+                                                          cmd.depth),
+                                        cmd.dst.w, cmd.dst.h));
+  damage_.Subtract(cmd.dst);
+  log_.RecordXRequest(now, XVideoFrameBytes(cmd.dst.w, cmd.dst.h));
+  QueueCommand(std::move(cmd));
+  Flush();
+}
+
+void ServerSession::SendAudio(uint32_t sample_rate, std::span<const uint8_t> samples) {
+  if (!attached()) {
+    return;
+  }
+  AudioMsg msg;
+  msg.sample_rate = sample_rate;
+  msg.samples.assign(samples.begin(), samples.end());
+  server_->Transmit(console_, id_, std::move(msg), 0);
+}
+
+void ServerSession::Flush() {
+  EncodeDamageToPending();
+  TransmitPending();
+}
+
+void ServerSession::RepaintAll() {
+  damage_.Clear();
+  damage_.Add(fb_.bounds());
+}
+
+void ServerSession::QueueCommand(DisplayCommand cmd) { pending_.push_back(std::move(cmd)); }
+
+void ServerSession::EncodeDamageToPending() {
+  if (damage_.empty()) {
+    return;
+  }
+  damage_.Coalesce(64);
+  std::vector<DisplayCommand> cmds = encoder_.EncodeDamage(fb_, damage_);
+  int64_t pixels = 0;
+  for (auto& cmd : cmds) {
+    pixels += AffectedPixels(cmd);
+    pending_.push_back(std::move(cmd));
+  }
+  encode_time_ += server_->options().cpu.EncodeCost(pixels, static_cast<int>(cmds.size()));
+  damage_.Clear();
+}
+
+void ServerSession::TransmitPending() {
+  const SimTime now = server_->simulator()->now();
+  for (DisplayCommand& cmd : pending_) {
+    const size_t bytes = WireSize(cmd);
+    log_.RecordCommand(now, cmd);
+    ++commands_sent_;
+    bytes_sent_ += static_cast<int64_t>(bytes);
+    const SimDuration wire_cost = server_->options().cpu.WireCost(static_cast<int64_t>(bytes));
+    wire_time_ += wire_cost;
+    if (attached()) {
+      std::visit(
+          [&](auto& body) {
+            server_->Transmit(console_, id_, std::move(body), wire_cost);
+          },
+          cmd);
+    }
+  }
+  pending_.clear();
+}
+
+}  // namespace slim

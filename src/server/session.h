@@ -1,0 +1,112 @@
+// A user session on a SLIM server.
+//
+// The session owns the persistent, true framebuffer state (the console's copy is only soft
+// state), a SLIM encoder acting as the X-server's virtual device driver, and the protocol
+// log that instruments everything it does. The drawing API mirrors what reaches an X device
+// driver: fills, glyph runs, images and copies. Every call is costed under both the SLIM
+// and X protocols so one session run produces the data for Figures 2-8.
+
+#ifndef SRC_SERVER_SESSION_H_
+#define SRC_SERVER_SESSION_H_
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/codec/encoder.h"
+#include "src/fb/framebuffer.h"
+#include "src/net/fabric.h"
+#include "src/protocol/messages.h"
+#include "src/server/cpu_model.h"
+#include "src/sim/simulator.h"
+#include "src/trace/protocol_log.h"
+
+namespace slim {
+
+// A 1-bit glyph image; the apps toolkit supplies these from its font.
+struct GlyphBitmap {
+  int32_t width = 0;
+  int32_t height = 0;
+  // (width+7)/8 bytes per row, MSB leftmost, height rows.
+  std::vector<uint8_t> bits;
+};
+
+class SlimServer;
+
+class ServerSession {
+ public:
+  ServerSession(SlimServer* server, uint32_t id, int32_t width, int32_t height,
+                EncoderOptions encoder_options = {});
+
+  uint32_t id() const { return id_; }
+  // The simulator driving this session's server (for applications that defer work, e.g.
+  // progressive page rendering).
+  Simulator* simulator();
+  Framebuffer& framebuffer() { return fb_; }
+  const Framebuffer& framebuffer() const { return fb_; }
+  ProtocolLog& log() { return log_; }
+  const ProtocolLog& log() const { return log_; }
+
+  // --- Console attachment (hotdesking) ---
+  void AttachConsole(NodeId console);
+  void DetachConsole();
+  bool attached() const { return console_ != kInvalidNode; }
+  NodeId console() const { return console_; }
+
+  // --- Input routing ---
+  using InputHandler = std::function<void(const Message&)>;
+  void set_input_handler(InputHandler handler) { input_handler_ = std::move(handler); }
+  void DeliverInput(const Message& msg);
+
+  // --- Drawing API (virtual device driver level) ---
+  void FillRect(const Rect& r, Pixel color);
+  void DrawGlyphs(int32_t x, int32_t y, std::span<const GlyphBitmap* const> glyphs, Pixel fg,
+                  Pixel bg);
+  void PutImage(const Rect& r, std::span<const Pixel> pixels);
+  void CopyArea(int32_t src_x, int32_t src_y, const Rect& dst);
+  // The Section 2.2 video library path: a YUV frame sent directly with CSCS.
+  void SendVideoFrame(const YuvImage& frame, const Rect& dst, CscsDepth depth);
+  void SendAudio(uint32_t sample_rate, std::span<const uint8_t> samples);
+
+  // Encodes pending damage and transmits everything queued to the attached console.
+  void Flush();
+
+  // Full-screen refresh, used when a session is (re)attached to a console.
+  void RepaintAll();
+
+  const Region& pending_damage() const { return damage_; }
+
+  // Simulated CPU accounting (Section 5.5 / Table 4).
+  SimDuration render_time() const { return render_time_; }
+  SimDuration encode_time() const { return encode_time_; }
+  SimDuration wire_time() const { return wire_time_; }
+
+  int64_t commands_sent() const { return commands_sent_; }
+  int64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  void QueueCommand(DisplayCommand cmd);
+  void EncodeDamageToPending();
+  void TransmitPending();
+
+  SlimServer* server_;
+  uint32_t id_;
+  Framebuffer fb_;
+  Encoder encoder_;
+  ProtocolLog log_;
+  Region damage_;
+  std::vector<DisplayCommand> pending_;
+  NodeId console_ = kInvalidNode;
+  InputHandler input_handler_;
+
+  SimDuration render_time_ = 0;
+  SimDuration encode_time_ = 0;
+  SimDuration wire_time_ = 0;
+  int64_t commands_sent_ = 0;
+  int64_t bytes_sent_ = 0;
+};
+
+}  // namespace slim
+
+#endif  // SRC_SERVER_SESSION_H_

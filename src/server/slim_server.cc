@@ -1,0 +1,144 @@
+#include "src/server/slim_server.h"
+
+#include "src/util/check.h"
+
+namespace slim {
+
+AuthenticationManager::AuthenticationManager(uint64_t site_key) : site_key_(site_key) {}
+
+uint64_t AuthenticationManager::Sign(uint32_t user_number) const {
+  // A keyed mix (SplitMix64-style) standing in for the product's challenge-response.
+  uint64_t x = site_key_ ^ (static_cast<uint64_t>(user_number) * 0x9e3779b97f4a7c15ull);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t AuthenticationManager::IssueCard(uint32_t user_number) {
+  const uint64_t card_id = Sign(user_number);
+  issued_[card_id] = user_number;
+  return card_id;
+}
+
+bool AuthenticationManager::Verify(uint64_t card_id) const {
+  const auto it = issued_.find(card_id);
+  if (it == issued_.end() || Sign(it->second) != card_id) {
+    ++rejected_;
+    return false;
+  }
+  ++accepted_;
+  return true;
+}
+
+void RemoteDeviceManager::DeviceAttached(NodeId console, uint32_t device_class) {
+  devices_[console].push_back(device_class);
+}
+
+void RemoteDeviceManager::DeviceDetached(NodeId console, uint32_t device_class) {
+  auto it = devices_.find(console);
+  if (it == devices_.end()) {
+    return;
+  }
+  auto& list = it->second;
+  for (auto d = list.begin(); d != list.end(); ++d) {
+    if (*d == device_class) {
+      list.erase(d);
+      break;
+    }
+  }
+  if (list.empty()) {
+    devices_.erase(it);
+  }
+}
+
+int RemoteDeviceManager::DevicesAt(NodeId console) const {
+  const auto it = devices_.find(console);
+  return it == devices_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+int RemoteDeviceManager::total_devices() const {
+  int total = 0;
+  for (const auto& [node, list] : devices_) {
+    total += static_cast<int>(list.size());
+  }
+  return total;
+}
+
+SlimServer::SlimServer(Simulator* sim, Fabric* fabric, ServerOptions options)
+    : sim_(sim), options_(options), auth_(0x51e7e5c4e7u) {
+  SLIM_CHECK(sim != nullptr && fabric != nullptr);
+  endpoint_ = std::make_unique<SlimEndpoint>(fabric, fabric->AddNode());
+  endpoint_->set_handler([this](const Message& msg, NodeId from) { OnMessage(msg, from); });
+}
+
+ServerSession& SlimServer::CreateSession(uint64_t card_id) {
+  const uint32_t id = next_session_id_++;
+  auto session = std::make_unique<ServerSession>(this, id, options_.session_width,
+                                                 options_.session_height, options_.encoder);
+  ServerSession& ref = *session;
+  sessions_[id] = std::move(session);
+  card_to_session_[card_id] = id;
+  return ref;
+}
+
+ServerSession* SlimServer::FindSession(uint32_t session_id) {
+  const auto it = sessions_.find(session_id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+ServerSession* SlimServer::SessionForCard(uint64_t card_id) {
+  const auto it = card_to_session_.find(card_id);
+  return it == card_to_session_.end() ? nullptr : FindSession(it->second);
+}
+
+SimTime SlimServer::Transmit(NodeId console, uint32_t session_id, MessageBody body,
+                             SimDuration cpu_cost) {
+  if (!options_.model_cpu_delay || cpu_cost <= 0) {
+    endpoint_->Send(console, session_id, std::move(body));
+    return sim_->now();
+  }
+  const SimTime start = std::max(sim_->now(), cpu_busy_until_);
+  const SimTime done = start + cpu_cost;
+  cpu_busy_until_ = done;
+  sim_->ScheduleAt(done, [this, console, session_id, b = std::move(body)]() mutable {
+    endpoint_->Send(console, session_id, std::move(b));
+  });
+  return done;
+}
+
+void SlimServer::OnMessage(const Message& msg, NodeId from) {
+  if (const auto* attach = std::get_if<SessionAttachMsg>(&msg.body)) {
+    if (!auth_.Verify(attach->card_id)) {
+      return;  // Unknown card: the screen stays dark.
+    }
+    ServerSession* session = SessionForCard(attach->card_id);
+    if (session == nullptr) {
+      session = &CreateSession(attach->card_id);
+    }
+    // Hotdesking: if the session is showing on another console, pull it from there.
+    session->AttachConsole(from);
+    return;
+  }
+  if (const auto* detach = std::get_if<SessionDetachMsg>(&msg.body)) {
+    ServerSession* session = SessionForCard(detach->card_id);
+    if (session != nullptr && session->console() == from) {
+      session->DetachConsole();
+    }
+    return;
+  }
+  if (std::holds_alternative<KeyEventMsg>(msg.body) ||
+      std::holds_alternative<MouseEventMsg>(msg.body)) {
+    ServerSession* session = FindSession(msg.session_id);
+    if (session != nullptr) {
+      session->DeliverInput(msg);
+    }
+    return;
+  }
+  if (const auto* ping = std::get_if<PingMsg>(&msg.body)) {
+    endpoint_->Send(from, msg.session_id, PongMsg{ping->payload});
+    return;
+  }
+  // Status / audio / grants from consoles need no action in the experiments.
+}
+
+}  // namespace slim

@@ -1,0 +1,104 @@
+// The SLIM server: transport endpoint plus the three system daemons the architecture adds
+// (Section 2.4) — authentication manager, session manager, and remote device manager.
+
+#ifndef SRC_SERVER_SLIM_SERVER_H_
+#define SRC_SERVER_SLIM_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/net/fabric.h"
+#include "src/net/transport.h"
+#include "src/server/cpu_model.h"
+#include "src/server/session.h"
+#include "src/sim/simulator.h"
+
+namespace slim {
+
+// Verifies smart-card identities. Cards must be registered before they authenticate; the
+// check is a keyed hash so that forged ids are rejected (a stand-in for the product's
+// challenge-response, enough to exercise the accept/reject paths).
+class AuthenticationManager {
+ public:
+  explicit AuthenticationManager(uint64_t site_key);
+
+  // Registers a user's card and returns its id.
+  uint64_t IssueCard(uint32_t user_number);
+  bool Verify(uint64_t card_id) const;
+
+  int64_t accepted() const { return accepted_; }
+  int64_t rejected() const { return rejected_; }
+
+ private:
+  uint64_t Sign(uint32_t user_number) const;
+
+  uint64_t site_key_;
+  std::map<uint64_t, uint32_t> issued_;
+  mutable int64_t accepted_ = 0;
+  mutable int64_t rejected_ = 0;
+};
+
+// Tracks peripherals attached through consoles' USB ports.
+class RemoteDeviceManager {
+ public:
+  void DeviceAttached(NodeId console, uint32_t device_class);
+  void DeviceDetached(NodeId console, uint32_t device_class);
+  int DevicesAt(NodeId console) const;
+  int total_devices() const;
+
+ private:
+  std::map<NodeId, std::vector<uint32_t>> devices_;
+};
+
+struct ServerOptions {
+  int32_t session_width = 1280;
+  int32_t session_height = 1024;
+  EncoderOptions encoder;
+  ServerCpuModel cpu;
+  // When true, Flush() defers transmission by the simulated render/encode/wire CPU time on
+  // a single busy-server pipeline (used by the response-time experiments). When false,
+  // transmission is immediate and CPU time is only accounted (used for trace generation).
+  bool model_cpu_delay = false;
+};
+
+class SlimServer {
+ public:
+  SlimServer(Simulator* sim, Fabric* fabric, ServerOptions options = {});
+
+  NodeId node() const { return endpoint_->node(); }
+  Simulator* simulator() { return sim_; }
+  SlimEndpoint& endpoint() { return *endpoint_; }
+  const ServerOptions& options() const { return options_; }
+  AuthenticationManager& auth() { return auth_; }
+  RemoteDeviceManager& devices() { return devices_; }
+
+  // Creates a session bound to a card id (the session manager resumes it on card insert).
+  ServerSession& CreateSession(uint64_t card_id);
+  ServerSession* FindSession(uint32_t session_id);
+  ServerSession* SessionForCard(uint64_t card_id);
+  size_t session_count() const { return sessions_.size(); }
+
+  // Used by ServerSession to push messages to a console; accounts wire CPU time and applies
+  // the optional busy-pipeline delay. Returns the simulated time at which the message left.
+  SimTime Transmit(NodeId console, uint32_t session_id, MessageBody body,
+                   SimDuration cpu_cost);
+
+ private:
+  void OnMessage(const Message& msg, NodeId from);
+
+  Simulator* sim_;
+  ServerOptions options_;
+  std::unique_ptr<SlimEndpoint> endpoint_;
+  AuthenticationManager auth_;
+  RemoteDeviceManager devices_;
+  std::map<uint32_t, std::unique_ptr<ServerSession>> sessions_;
+  std::map<uint64_t, uint32_t> card_to_session_;
+  uint32_t next_session_id_ = 1;
+  SimTime cpu_busy_until_ = 0;
+};
+
+}  // namespace slim
+
+#endif  // SRC_SERVER_SLIM_SERVER_H_

@@ -1,0 +1,64 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace slim {
+
+EventId Simulator::Schedule(SimDuration delay, Callback cb) {
+  SLIM_CHECK(delay >= 0);
+  return ScheduleAt(now_ + delay, std::move(cb));
+}
+
+EventId Simulator::ScheduleAt(SimTime t, Callback cb) {
+  SLIM_CHECK(t >= now_);
+  const EventId id = next_id_++;
+  queue_.push(QueueEntry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+void Simulator::Cancel(EventId id) { callbacks_.erase(id); }
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    const QueueEntry entry = queue_.top();
+    queue_.pop();
+    auto it = callbacks_.find(entry.id);
+    if (it == callbacks_.end()) {
+      continue;  // Cancelled.
+    }
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    SLIM_DCHECK(entry.time >= now_);
+    now_ = entry.time;
+    ++events_executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime t) {
+  SLIM_CHECK(t >= now_);
+  while (!queue_.empty()) {
+    const QueueEntry entry = queue_.top();
+    if (callbacks_.find(entry.id) == callbacks_.end()) {
+      queue_.pop();
+      continue;  // Cancelled; discard and keep scanning.
+    }
+    if (entry.time > t) {
+      break;
+    }
+    Step();
+  }
+  now_ = t;
+}
+
+}  // namespace slim

@@ -1,0 +1,78 @@
+// Discrete-event simulation core.
+//
+// Everything timed in libslim (network serialization, console decode costs, scheduler
+// quanta, user think time) runs on one Simulator. Events at equal timestamps execute in
+// scheduling order, which makes runs fully deterministic.
+
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace slim {
+
+using EventId = uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules cb to run `delay` from now (delay >= 0). Returns an id usable with Cancel().
+  EventId Schedule(SimDuration delay, Callback cb);
+
+  // Schedules cb at absolute time t (t >= now()).
+  EventId ScheduleAt(SimTime t, Callback cb);
+
+  // Cancels a pending event. Cancelling an already-fired or unknown id is a no-op.
+  void Cancel(EventId id);
+
+  // Runs one event; returns false if the queue was empty.
+  bool Step();
+
+  // Runs until the queue is empty.
+  void Run();
+
+  // Runs all events with time <= t, then advances the clock to exactly t.
+  void RunUntil(SimTime t);
+
+  // Number of events executed so far (for tests and sanity limits).
+  uint64_t events_executed() const { return events_executed_; }
+  size_t pending_events() const { return callbacks_.size(); }
+
+ private:
+  struct QueueEntry {
+    SimTime time;
+    uint64_t seq;
+    EventId id;
+    bool operator>(const QueueEntry& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  uint64_t events_executed_ = 0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace slim
+
+#endif  // SRC_SIM_SIMULATOR_H_

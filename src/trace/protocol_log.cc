@@ -1,0 +1,145 @@
+#include "src/trace/protocol_log.h"
+
+#include <algorithm>
+
+namespace slim {
+
+void ProtocolLog::RecordInput(SimTime t, bool is_key) {
+  LogEntry e;
+  e.time = t;
+  e.kind = LogKind::kInput;
+  e.is_key = is_key;
+  entries_.push_back(e);
+}
+
+void ProtocolLog::RecordCommand(SimTime t, const DisplayCommand& cmd) {
+  LogEntry e;
+  e.time = t;
+  e.kind = LogKind::kDisplay;
+  e.type = TypeOf(cmd);
+  e.pixels = AffectedPixels(cmd);
+  e.wire_bytes = static_cast<int64_t>(WireSize(cmd));
+  e.uncompressed_bytes = UncompressedBytes(cmd);
+  entries_.push_back(e);
+}
+
+void ProtocolLog::RecordXRequest(SimTime t, int64_t bytes) {
+  LogEntry e;
+  e.time = t;
+  e.kind = LogKind::kXRequest;
+  e.x_bytes = bytes;
+  entries_.push_back(e);
+}
+
+int64_t ProtocolLog::input_events() const {
+  return std::count_if(entries_.begin(), entries_.end(),
+                       [](const LogEntry& e) { return e.kind == LogKind::kInput; });
+}
+
+SimDuration ProtocolLog::Span() const {
+  if (entries_.size() < 2) {
+    return 0;
+  }
+  return entries_.back().time - entries_.front().time;
+}
+
+std::vector<double> ProtocolLog::InputIntervalsSeconds() const {
+  std::vector<double> intervals;
+  SimTime last = -1;
+  for (const LogEntry& e : entries_) {
+    if (e.kind != LogKind::kInput) {
+      continue;
+    }
+    if (last >= 0) {
+      intervals.push_back(ToSeconds(e.time - last));
+    }
+    last = e.time;
+  }
+  return intervals;
+}
+
+std::vector<EventUpdate> ProtocolLog::AttributeToEvents() const {
+  std::vector<EventUpdate> updates;
+  bool open = false;
+  EventUpdate current;
+  for (const LogEntry& e : entries_) {
+    switch (e.kind) {
+      case LogKind::kInput:
+        if (open) {
+          updates.push_back(current);
+        }
+        current = EventUpdate{};
+        current.event_time = e.time;
+        open = true;
+        break;
+      case LogKind::kDisplay:
+        if (open) {
+          current.pixels += e.pixels;
+          current.slim_bytes += e.wire_bytes;
+          current.uncompressed_bytes += e.uncompressed_bytes;
+          current.commands += 1;
+        }
+        break;
+      case LogKind::kXRequest:
+        if (open) {
+          current.x_bytes += e.x_bytes;
+        }
+        break;
+    }
+  }
+  if (open) {
+    updates.push_back(current);
+  }
+  return updates;
+}
+
+namespace {
+
+double AverageBps(const std::vector<LogEntry>& entries, SimDuration span,
+                  int64_t (*extract)(const LogEntry&)) {
+  if (span <= 0) {
+    return 0.0;
+  }
+  int64_t total = 0;
+  for (const LogEntry& e : entries) {
+    total += extract(e);
+  }
+  return static_cast<double>(total) * 8.0 / ToSeconds(span);
+}
+
+}  // namespace
+
+double ProtocolLog::AverageSlimBps() const {
+  return AverageBps(entries_, Span(), [](const LogEntry& e) {
+    return e.kind == LogKind::kDisplay ? e.wire_bytes : int64_t{0};
+  });
+}
+
+double ProtocolLog::AverageXBps() const {
+  return AverageBps(entries_, Span(), [](const LogEntry& e) {
+    return e.kind == LogKind::kXRequest ? e.x_bytes : int64_t{0};
+  });
+}
+
+double ProtocolLog::AverageRawBps() const {
+  return AverageBps(entries_, Span(), [](const LogEntry& e) {
+    return e.kind == LogKind::kDisplay ? e.uncompressed_bytes : int64_t{0};
+  });
+}
+
+void ProtocolLog::TotalsByType(TypeTotals out[6]) const {
+  for (int i = 0; i < 6; ++i) {
+    out[i] = TypeTotals{};
+  }
+  for (const LogEntry& e : entries_) {
+    if (e.kind != LogKind::kDisplay) {
+      continue;
+    }
+    TypeTotals& slot = out[static_cast<size_t>(e.type)];
+    slot.commands += 1;
+    slot.wire_bytes += e.wire_bytes;
+    slot.uncompressed_bytes += e.uncompressed_bytes;
+  }
+}
+
+}  // namespace slim

@@ -1,0 +1,92 @@
+// Timestamped protocol logging and post-processing (paper Section 3.1).
+//
+// The paper's methodology is to log every X and SLIM protocol event during user trials and
+// answer all later questions by post-processing, instead of re-running studies. ProtocolLog
+// is that instrument: the display server records every input event, every SLIM command (with
+// wire and uncompressed sizes) and the X-protocol cost of every drawing request, and the
+// figure harnesses run the published analyses over the entries.
+
+#ifndef SRC_TRACE_PROTOCOL_LOG_H_
+#define SRC_TRACE_PROTOCOL_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/protocol/commands.h"
+#include "src/util/time.h"
+
+namespace slim {
+
+enum class LogKind : uint8_t {
+  kInput,    // keystroke or mouse click arriving at the server
+  kDisplay,  // SLIM display command sent to the console
+  kXRequest  // equivalent X11 request cost for the same drawing operation
+};
+
+struct LogEntry {
+  SimTime time = 0;
+  LogKind kind = LogKind::kInput;
+  // kInput:
+  bool is_key = false;
+  // kDisplay:
+  CommandType type = CommandType::kSet;
+  int64_t pixels = 0;
+  int64_t wire_bytes = 0;          // SLIM bytes incl. message header
+  int64_t uncompressed_bytes = 0;  // 3 B per affected pixel
+  // kXRequest:
+  int64_t x_bytes = 0;
+};
+
+// The paper's heuristic attribution: all display activity between two input events is
+// induced by the first event.
+struct EventUpdate {
+  SimTime event_time = 0;
+  int64_t pixels = 0;
+  int64_t slim_bytes = 0;
+  int64_t uncompressed_bytes = 0;
+  int64_t x_bytes = 0;
+  int commands = 0;
+};
+
+class ProtocolLog {
+ public:
+  void RecordInput(SimTime t, bool is_key);
+  void RecordCommand(SimTime t, const DisplayCommand& cmd);
+  void RecordXRequest(SimTime t, int64_t bytes);
+  // Appends a fully-populated entry (trace deserialization).
+  void RecordEntry(const LogEntry& entry) { entries_.push_back(entry); }
+
+  const std::vector<LogEntry>& entries() const { return entries_; }
+  void Clear() { entries_.clear(); }
+
+  int64_t input_events() const;
+  SimDuration Span() const;  // first to last entry
+
+  // Seconds between consecutive input events (Figure 2 feeds 1/interval into its CDF).
+  std::vector<double> InputIntervalsSeconds() const;
+
+  // Paper Section 5.2 heuristic: pixels (and bytes) between consecutive input events belong
+  // to the first event. Activity before the first input event is dropped, matching the
+  // paper's per-event accounting.
+  std::vector<EventUpdate> AttributeToEvents() const;
+
+  // Average protocol bandwidth over the log's span, in bits per second.
+  double AverageSlimBps() const;
+  double AverageXBps() const;
+  double AverageRawBps() const;
+
+  // Per-command-type totals for the Figure 4 compression analysis, indexed by CommandType.
+  struct TypeTotals {
+    int64_t commands = 0;
+    int64_t wire_bytes = 0;
+    int64_t uncompressed_bytes = 0;
+  };
+  void TotalsByType(TypeTotals out[6]) const;
+
+ private:
+  std::vector<LogEntry> entries_;
+};
+
+}  // namespace slim
+
+#endif  // SRC_TRACE_PROTOCOL_LOG_H_

@@ -1,0 +1,37 @@
+// Lightweight invariant checking.
+//
+// SLIM_CHECK is always on (benches and tests both rely on it); SLIM_DCHECK compiles away in
+// release builds. These are deliberately simple: print, flush, abort.
+
+#ifndef SRC_UTIL_CHECK_H_
+#define SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace slim {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "%s:%d: check failed: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace slim
+
+#define SLIM_CHECK(expr)                                \
+  do {                                                  \
+    if (!(expr)) {                                      \
+      ::slim::CheckFailed(__FILE__, __LINE__, #expr);   \
+    }                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define SLIM_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#else
+#define SLIM_DCHECK(expr) SLIM_CHECK(expr)
+#endif
+
+#endif  // SRC_UTIL_CHECK_H_

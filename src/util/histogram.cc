@@ -1,0 +1,92 @@
+#include "src/util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/check.h"
+
+namespace slim {
+
+Histogram::Histogram(double min, double max, double bucket_width)
+    : min_(min), max_(max), width_(bucket_width) {
+  SLIM_CHECK(bucket_width > 0.0);
+  SLIM_CHECK(max > min);
+  const auto n = static_cast<size_t>(std::ceil((max - min) / bucket_width));
+  buckets_.assign(std::max<size_t>(n, 1), 0);
+}
+
+void Histogram::Add(double value) { AddN(value, 1); }
+
+void Histogram::AddN(double value, int64_t n) {
+  SLIM_DCHECK(n >= 0);
+  double clamped = std::clamp(value, min_, max_);
+  auto idx = static_cast<size_t>((clamped - min_) / width_);
+  idx = std::min(idx, buckets_.size() - 1);
+  buckets_[idx] += n;
+  total_ += n;
+  sum_ += value * static_cast<double>(n);
+}
+
+double Histogram::CdfAt(double v) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  if (v < min_) {
+    return 0.0;
+  }
+  const auto last = static_cast<size_t>((std::min(v, max_) - min_) / width_);
+  int64_t count = 0;
+  for (size_t i = 0; i < buckets_.size() && i <= last; ++i) {
+    count += buckets_[i];
+  }
+  return static_cast<double>(count) / static_cast<double>(total_);
+}
+
+double Histogram::InverseCdf(double fraction) const {
+  SLIM_DCHECK(fraction > 0.0 && fraction <= 1.0);
+  if (total_ == 0) {
+    return min_;
+  }
+  const double target = fraction * static_cast<double>(total_);
+  int64_t running = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    running += buckets_[i];
+    if (static_cast<double>(running) >= target) {
+      return min_ + static_cast<double>(i + 1) * width_;
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::CdfSeries(int max_points) const {
+  std::string out;
+  if (total_ == 0) {
+    return out;
+  }
+  // Collect nonzero buckets first, then thin to at most max_points rows.
+  std::vector<std::pair<double, double>> points;
+  int64_t running = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    running += buckets_[i];
+    const double edge = min_ + static_cast<double>(i + 1) * width_;
+    points.emplace_back(edge, static_cast<double>(running) / static_cast<double>(total_));
+  }
+  const size_t stride =
+      points.size() <= static_cast<size_t>(max_points) ? 1 : points.size() / max_points + 1;
+  char buf[64];
+  for (size_t i = 0; i < points.size(); i += stride) {
+    std::snprintf(buf, sizeof(buf), "%.6g\t%.4f\n", points[i].first, points[i].second);
+    out += buf;
+  }
+  if (stride > 1 && !points.empty() && (points.size() - 1) % stride != 0) {
+    std::snprintf(buf, sizeof(buf), "%.6g\t%.4f\n", points.back().first, points.back().second);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace slim

@@ -1,0 +1,51 @@
+// Fixed-bucket histograms and cumulative distributions.
+//
+// The paper reports nearly all of its results as cumulative distributions with an explicit
+// histogram bucket size (e.g. "bucket size is 0.005 events/sec" in Figure 2). Histogram
+// mirrors that: values are accumulated into uniform buckets and the CDF is read back either
+// as (value, fraction) pairs for plotting or as inverse lookups for percentile statements.
+
+#ifndef SRC_UTIL_HISTOGRAM_H_
+#define SRC_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slim {
+
+class Histogram {
+ public:
+  // Buckets are [min + i*width, min + (i+1)*width); values outside the range clamp to the
+  // first/last bucket. width must be positive.
+  Histogram(double min, double max, double bucket_width);
+
+  void Add(double value);
+  void AddN(double value, int64_t n);
+
+  int64_t total_count() const { return total_; }
+
+  // Fraction of samples with value <= v, in [0, 1].
+  double CdfAt(double v) const;
+
+  // Smallest bucket upper edge u such that CdfAt(u) >= fraction. fraction in (0, 1].
+  double InverseCdf(double fraction) const;
+
+  double mean() const { return total_ > 0 ? sum_ / static_cast<double>(total_) : 0.0; }
+
+  // One sampled CDF point per row: "value<TAB>cumulative_fraction". Buckets with zero counts
+  // are skipped so plots stay small. Used by the figure benches to emit paper-style series.
+  std::string CdfSeries(int max_points = 64) const;
+
+ private:
+  double min_;
+  double max_;
+  double width_;
+  std::vector<int64_t> buckets_;
+  int64_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace slim
+
+#endif  // SRC_UTIL_HISTOGRAM_H_

@@ -1,0 +1,58 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in libslim (workload models, network jitter, video content)
+// draws from an explicitly seeded Rng so that simulations are bit-for-bit reproducible.
+// The core generator is xoshiro256++ seeded via SplitMix64.
+
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace slim {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5f11a9e1u);
+
+  // Uniform over the full 64-bit range.
+  uint64_t NextU64();
+
+  // Uniform over [0, bound). bound must be nonzero.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform over [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform over [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0, 1]).
+  bool NextBool(double p);
+
+  // Exponentially distributed with the given mean (> 0).
+  double NextExponential(double mean);
+
+  // Standard normal via Box-Muller, scaled to (mean, stddev).
+  double NextNormal(double mean, double stddev);
+
+  // Log-normal: exp(N(mu, sigma)). Heavy-tailed sizes (display updates, page weights).
+  double NextLogNormal(double mu, double sigma);
+
+  // Pareto with scale xm > 0 and shape alpha > 0. Heavy-tailed think times.
+  double NextPareto(double xm, double alpha);
+
+  // Poisson-distributed count with the given mean (small means only; inversion method).
+  int NextPoisson(double mean);
+
+  // Splits off an independently seeded child generator; used to give each simulated user or
+  // flow its own stream so adding one does not perturb the others.
+  Rng Split();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace slim
+
+#endif  // SRC_UTIL_RNG_H_

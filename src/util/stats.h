@@ -1,0 +1,49 @@
+// Descriptive statistics used by the measurement harnesses.
+
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace slim {
+
+// Streaming mean / variance / extrema (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Returns the p-th percentile (0 <= p <= 100) of the sample using linear interpolation.
+// The input is copied and sorted; empty input yields 0.
+double Percentile(std::span<const double> samples, double p);
+
+// Least-squares fit y = intercept + slope * x. Returns {slope, intercept}.
+// Used to recover per-pixel and startup costs from saturation measurements (Table 5).
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+LinearFit FitLine(std::span<const double> x, std::span<const double> y);
+
+}  // namespace slim
+
+#endif  // SRC_UTIL_STATS_H_

@@ -1,0 +1,36 @@
+// Plain-text table rendering for benchmark output.
+//
+// Every figure/table bench prints its rows through TextTable so the regenerated results read
+// like the paper's tables and are easy to diff between runs.
+
+#ifndef SRC_UTIL_TABLE_H_
+#define SRC_UTIL_TABLE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace slim {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience for mixed literal rows.
+  void AddRow(std::initializer_list<std::string> cells);
+
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// printf-style std::string formatting helper.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace slim
+
+#endif  // SRC_UTIL_TABLE_H_

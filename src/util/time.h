@@ -1,0 +1,43 @@
+// Simulated-time primitives used throughout libslim.
+//
+// All simulated clocks count integer nanoseconds from the start of the simulation. Using a
+// plain integer (rather than std::chrono) keeps the discrete-event core trivially serializable
+// and makes arithmetic in rate computations explicit.
+
+#ifndef SRC_UTIL_TIME_H_
+#define SRC_UTIL_TIME_H_
+
+#include <cstdint>
+
+namespace slim {
+
+// A point in simulated time, in nanoseconds since simulation start.
+using SimTime = int64_t;
+
+// A span of simulated time, in nanoseconds.
+using SimDuration = int64_t;
+
+constexpr SimDuration kNanosecond = 1;
+constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+constexpr SimDuration Nanoseconds(int64_t n) { return n * kNanosecond; }
+constexpr SimDuration Microseconds(int64_t n) { return n * kMicrosecond; }
+constexpr SimDuration Milliseconds(int64_t n) { return n * kMillisecond; }
+constexpr SimDuration Seconds(int64_t n) { return n * kSecond; }
+
+constexpr double ToSeconds(SimDuration d) { return static_cast<double>(d) / kSecond; }
+constexpr double ToMillis(SimDuration d) { return static_cast<double>(d) / kMillisecond; }
+constexpr double ToMicros(SimDuration d) { return static_cast<double>(d) / kMicrosecond; }
+
+// Converts a byte count and a link rate in bits per second into the serialization delay.
+constexpr SimDuration TransmissionDelay(int64_t bytes, int64_t bits_per_second) {
+  // Rounded up so that a positive payload always consumes positive time.
+  const int64_t bits = bytes * 8;
+  return (bits * kSecond + bits_per_second - 1) / bits_per_second;
+}
+
+}  // namespace slim
+
+#endif  // SRC_UTIL_TIME_H_

@@ -1,0 +1,87 @@
+#include "src/video/video_source.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace slim {
+
+SyntheticVideoSource::SyntheticVideoSource(int32_t width, int32_t height, uint64_t seed)
+    : width_(width), height_(height), seed_(seed) {
+  SLIM_CHECK(width > 0 && height > 0);
+}
+
+YuvImage SyntheticVideoSource::Frame(int index) const {
+  YuvImage frame(width_, height_);
+  // A slowly panning luminance field, two moving "objects", and per-frame grain. Everything
+  // derives from (seed, index, x, y) so frames are reproducible and genuinely moving.
+  const double t = index * 0.12;
+  const double pan_x = 40.0 * std::sin(t * 0.35);
+  const double pan_y = 24.0 * std::cos(t * 0.21);
+  const double ox1 = width_ * (0.5 + 0.3 * std::sin(t));
+  const double oy1 = height_ * (0.5 + 0.3 * std::cos(t * 1.3));
+  const double ox2 = width_ * (0.5 + 0.35 * std::cos(t * 0.7));
+  const double oy2 = height_ * (0.5 + 0.25 * std::sin(t * 0.9));
+  Rng grain(seed_ ^ (static_cast<uint64_t>(index) * 0x9e3779b97f4a7c15ull));
+  for (int32_t y = 0; y < height_; ++y) {
+    for (int32_t x = 0; x < width_; ++x) {
+      const double gx = (x + pan_x) * 0.02;
+      const double gy = (y + pan_y) * 0.02;
+      double luma = 110.0 + 70.0 * std::sin(gx) * std::cos(gy * 1.4);
+      double u = 128.0 + 30.0 * std::sin(gx * 0.5 + t);
+      double v = 128.0 + 30.0 * std::cos(gy * 0.5 - t);
+      const double d1 = std::hypot(x - ox1, y - oy1);
+      if (d1 < 40.0) {
+        luma = 220.0 - d1;
+        u = 90.0;
+        v = 170.0;
+      }
+      const double d2 = std::hypot(x - ox2, y - oy2);
+      if (d2 < 28.0) {
+        luma = 60.0 + d2;
+        u = 170.0;
+        v = 90.0;
+      }
+      luma += (grain.NextDouble() - 0.5) * 10.0;
+      frame.Set(x, y,
+                Yuv{static_cast<uint8_t>(std::clamp(luma, 0.0, 255.0)),
+                    static_cast<uint8_t>(std::clamp(u, 0.0, 255.0)),
+                    static_cast<uint8_t>(std::clamp(v, 0.0, 255.0))});
+    }
+  }
+  return frame;
+}
+
+YuvImage SyntheticVideoSource::Field(int index, bool odd) const {
+  const YuvImage full = Frame(index);
+  YuvImage field(width_, std::max(1, height_ / 2));
+  for (int32_t y = 0; y < field.height(); ++y) {
+    const int32_t src_y = std::min(height_ - 1, y * 2 + (odd ? 1 : 0));
+    for (int32_t x = 0; x < width_; ++x) {
+      field.Set(x, y, full.At(x, src_y));
+    }
+  }
+  return field;
+}
+
+SimDuration VideoCpuModel::MpegFrameCost(int64_t decode_pixels, int64_t sent_pixels) const {
+  return static_cast<SimDuration>(mpeg_decode_ns_per_pixel *
+                                  static_cast<double>(decode_pixels)) +
+         static_cast<SimDuration>(convert_ns_per_pixel * static_cast<double>(sent_pixels));
+}
+
+SimDuration VideoCpuModel::JpegFieldCost(int64_t pixels) const {
+  return static_cast<SimDuration>((jpeg_decode_ns_per_pixel + convert_ns_per_pixel) *
+                                  static_cast<double>(pixels));
+}
+
+SimDuration VideoCpuModel::QuakeTranslateCost(int64_t pixels) const {
+  return static_cast<SimDuration>(translate_ns_per_pixel * static_cast<double>(pixels));
+}
+
+SimDuration VideoCpuModel::SendCost(int64_t bytes) const {
+  return static_cast<SimDuration>(send_ns_per_byte * static_cast<double>(bytes));
+}
+
+}  // namespace slim

@@ -1,0 +1,60 @@
+#include "src/workload/user_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slim {
+
+UserModel::UserModel(AppKind kind, Rng rng)
+    : kind_(kind), rng_(rng), params_(ParamsFor(kind)) {}
+
+UserModel::Params UserModel::ParamsFor(AppKind kind) {
+  switch (kind) {
+    case AppKind::kPhotoshop:
+      // Deliberate work: clicks (filters, selections) dominate; long pauses studying the
+      // image between operations.
+      return Params{0.70, 2, 10, 150.0, 0.7, 1.0, 1.25};
+    case AppKind::kNetscape:
+      // Reading-dominated: short scroll/typing bursts, clicks to navigate, long reading
+      // pauses (the paper's "less interactive" pair).
+      return Params{0.25, 2, 8, 150.0, 0.7, 1.2, 1.3};
+    case AppKind::kFrameMaker:
+      // Sustained typing at 7-12 Hz with short pauses.
+      return Params{0.10, 8, 60, 130.0, 0.5, 0.5, 1.9};
+    case AppKind::kPim:
+      // Quick fire-and-forget interactions: arrows, short replies.
+      return Params{0.20, 4, 30, 140.0, 0.5, 0.5, 1.8};
+  }
+  return Params{0.2, 2, 10, 150.0, 0.5, 0.8, 1.5};
+}
+
+UserModel::NextEvent UserModel::Next() {
+  NextEvent event;
+  if (burst_remaining_ <= 0) {
+    // Start a new burst after a think pause.
+    burst_is_click_ = rng_.NextBool(params_.click_fraction);
+    burst_remaining_ =
+        static_cast<int>(rng_.NextInRange(params_.burst_min, params_.burst_max));
+    if (burst_is_click_) {
+      // Click runs are shorter than typing runs.
+      burst_remaining_ = std::max(1, burst_remaining_ / 4);
+    }
+    const double think_s = rng_.NextPareto(params_.think_xm_seconds, params_.think_alpha);
+    // Cap pathological tail draws at two minutes; users do come back.
+    event.delay = static_cast<SimDuration>(std::min(think_s, 120.0) * kSecond);
+  } else {
+    const double mu = std::log(params_.intra_median_ms);
+    double gap_ms = rng_.NextLogNormal(mu, params_.intra_sigma);
+    // Humans cannot sustain more than ~28 events/sec (Figure 2's empirical ceiling);
+    // a sub-1% sliver of key-rollover events lands just above it.
+    const double floor_ms = rng_.NextBool(0.008) ? 30.0 : 36.0;
+    gap_ms = std::max(gap_ms, floor_ms);
+    event.delay = static_cast<SimDuration>(gap_ms * kMillisecond);
+  }
+  --burst_remaining_;
+  event.is_key = !burst_is_click_;
+  event.keycode = static_cast<uint32_t>(rng_.NextBelow(997));
+  return event;
+}
+
+}  // namespace slim

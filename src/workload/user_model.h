@@ -1,0 +1,52 @@
+// Stochastic models of interactive users (paper Section 3.1's 50-subject studies).
+//
+// Humans interact in bursts: runs of keystrokes or repeated clicks at 3-15 Hz separated by
+// heavy-tailed think pauses. The per-application parameters are chosen so the resulting
+// input-frequency CDFs land in the regimes Figure 2 reports: fewer than 1% of events above
+// 28 Hz, roughly 70% below 10 Hz, and Netscape/Photoshop showing a larger fraction of
+// events more than a second apart than FrameMaker/PIM.
+
+#ifndef SRC_WORKLOAD_USER_MODEL_H_
+#define SRC_WORKLOAD_USER_MODEL_H_
+
+#include "src/apps/application.h"
+#include "src/util/rng.h"
+#include "src/util/time.h"
+
+namespace slim {
+
+class UserModel {
+ public:
+  UserModel(AppKind kind, Rng rng);
+
+  struct NextEvent {
+    SimDuration delay = 0;  // since the previous event
+    bool is_key = true;
+    uint32_t keycode = 0;  // for keys: drives the app's action choice deterministically
+  };
+
+  NextEvent Next();
+
+ private:
+  struct Params {
+    double click_fraction;       // probability an event burst is clicks rather than typing
+    int burst_min;               // events per burst
+    int burst_max;
+    double intra_median_ms;      // median gap inside a burst
+    double intra_sigma;          // lognormal sigma of the gap
+    double think_xm_seconds;     // Pareto scale of inter-burst think time
+    double think_alpha;          // Pareto shape (smaller = heavier tail)
+  };
+
+  static Params ParamsFor(AppKind kind);
+
+  AppKind kind_;
+  Rng rng_;
+  Params params_;
+  int burst_remaining_ = 0;
+  bool burst_is_click_ = false;
+};
+
+}  // namespace slim
+
+#endif  // SRC_WORKLOAD_USER_MODEL_H_

@@ -1,0 +1,27 @@
+#include "src/xproto/xcost.h"
+
+namespace slim {
+
+namespace {
+
+int64_t Pad4(int64_t n) { return (n + 3) & ~int64_t{3}; }
+
+}  // namespace
+
+int64_t XFillRectBytes(int rect_count) { return 12 + 8 * static_cast<int64_t>(rect_count); }
+
+int64_t XDrawTextBytes(int chars) { return 16 + Pad4(2 + chars); }
+
+int64_t XCopyAreaBytes() { return 28; }
+
+int64_t XPutImageBytes(int64_t pixels) { return 24 + 4 * pixels; }
+
+int64_t XChangeGcBytes(int values) { return 12 + 4 * static_cast<int64_t>(values); }
+
+int64_t XEventBytes() { return 32; }
+
+int64_t XVideoFrameBytes(int32_t w, int32_t h) {
+  return XPutImageBytes(static_cast<int64_t>(w) * h);
+}
+
+}  // namespace slim

@@ -1,0 +1,42 @@
+// X11 protocol wire-cost model (the paper's comparison baseline, Figure 8).
+//
+// For each high-level drawing request the display server executes, these functions return
+// the bytes the same operation would occupy on an X11 connection. Sizes follow the core
+// protocol encoding (X Protocol Reference Manual): every request is a 4-byte-padded multiple
+// with a 4-byte header core. X is modeled at 24-bit depth, where ZPixmap image data costs
+// 4 bytes per pixel on the wire — the key structural difference from SLIM's packed 3-byte
+// SET encoding that Figure 8 exposes on image-heavy applications.
+
+#ifndef SRC_XPROTO_XCOST_H_
+#define SRC_XPROTO_XCOST_H_
+
+#include <cstdint>
+
+namespace slim {
+
+// PolyFillRectangle: 12-byte request + 8 bytes per rectangle.
+int64_t XFillRectBytes(int rect_count = 1);
+
+// PolyText8: 16-byte request + per-string item (2 bytes) + the characters, padded to 4.
+int64_t XDrawTextBytes(int chars);
+
+// CopyArea: fixed 28-byte request.
+int64_t XCopyAreaBytes();
+
+// PutImage, ZPixmap, depth 24: 24-byte request + 4 bytes per pixel (rows padded to 32-bit
+// units, which the 4-byte pixel already satisfies).
+int64_t XPutImageBytes(int64_t pixels);
+
+// ChangeGC (color/font switches around text and fills): 12 + 4 per value.
+int64_t XChangeGcBytes(int values = 1);
+
+// Input delivery cost (server -> client event): all X events are 32 bytes.
+int64_t XEventBytes();
+
+// XPutImage for a video frame under X (Section 8.1: "a full 24 bits must be transmitted for
+// each pixel", no compression possible) — used by the multimedia comparison.
+int64_t XVideoFrameBytes(int32_t w, int32_t h);
+
+}  // namespace slim
+
+#endif  // SRC_XPROTO_XCOST_H_

@@ -1,0 +1,275 @@
+// Tests for the SLIM encoder/decoder, including the core round-trip property: encoding a
+// damaged framebuffer and applying the commands to a stale copy reproduces it exactly.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/content.h"
+#include "src/codec/decoder.h"
+#include "src/codec/encoder.h"
+#include "src/util/rng.h"
+
+namespace slim {
+namespace {
+
+TEST(DecoderTest, ValidatesSetPayloadSize) {
+  SetCommand cmd;
+  cmd.dst = Rect{0, 0, 4, 4};
+  cmd.rgb.assign(4 * 4 * 3, 0);
+  EXPECT_TRUE(ValidateCommand(DisplayCommand(cmd)));
+  cmd.rgb.pop_back();
+  EXPECT_FALSE(ValidateCommand(DisplayCommand(cmd)));
+}
+
+TEST(DecoderTest, ValidatesBitmapStride) {
+  BitmapCommand cmd;
+  cmd.dst = Rect{0, 0, 12, 3};  // stride 2 bytes
+  cmd.bits.assign(2 * 3, 0);
+  EXPECT_TRUE(ValidateCommand(DisplayCommand(cmd)));
+  cmd.bits.push_back(0);
+  EXPECT_FALSE(ValidateCommand(DisplayCommand(cmd)));
+}
+
+TEST(DecoderTest, RejectsEmptyRects) {
+  EXPECT_FALSE(ValidateCommand(DisplayCommand(FillCommand{Rect{0, 0, 0, 5}, 0})));
+  EXPECT_FALSE(ValidateCommand(DisplayCommand(FillCommand{Rect{0, 0, 5, -1}, 0})));
+}
+
+TEST(DecoderTest, RejectsCscsDownscaleAndBadPayload) {
+  CscsCommand cmd;
+  cmd.src_w = 8;
+  cmd.src_h = 8;
+  cmd.dst = Rect{0, 0, 4, 4};  // downscale: not supported by the console
+  cmd.depth = CscsDepth::k16;
+  cmd.payload.assign(CscsPayloadBytes(8, 8, CscsDepth::k16), 0);
+  EXPECT_FALSE(ValidateCommand(DisplayCommand(cmd)));
+  cmd.dst = Rect{0, 0, 8, 8};
+  EXPECT_TRUE(ValidateCommand(DisplayCommand(cmd)));
+  cmd.payload.pop_back();
+  EXPECT_FALSE(ValidateCommand(DisplayCommand(cmd)));
+}
+
+TEST(DecoderTest, ApplyRejectsMalformedWithoutTouchingFramebuffer) {
+  Framebuffer fb(16, 16);
+  const uint64_t before = fb.ContentHash();
+  SetCommand bad;
+  bad.dst = Rect{0, 0, 4, 4};
+  bad.rgb.assign(5, 0);
+  EXPECT_FALSE(ApplyCommand(DisplayCommand(bad), &fb));
+  EXPECT_EQ(fb.ContentHash(), before);
+}
+
+TEST(DecoderTest, FillApplies) {
+  Framebuffer fb(16, 16);
+  EXPECT_TRUE(
+      ApplyCommand(DisplayCommand(FillCommand{Rect{2, 2, 4, 4}, MakePixel(1, 2, 3)}), &fb));
+  EXPECT_EQ(fb.GetPixel(3, 3), MakePixel(1, 2, 3));
+  EXPECT_EQ(fb.GetPixel(7, 7), kBlack);
+}
+
+TEST(EncoderTest, UniformRegionBecomesSingleFill) {
+  Framebuffer fb(128, 64, MakePixel(10, 20, 30));
+  Encoder encoder;
+  std::vector<DisplayCommand> cmds;
+  encoder.EncodeRect(fb, Rect{0, 0, 128, 32}, &cmds);
+  ASSERT_EQ(cmds.size(), 1u);
+  EXPECT_EQ(TypeOf(cmds[0]), CommandType::kFill);
+  EXPECT_EQ(std::get<FillCommand>(cmds[0]).color, MakePixel(10, 20, 30));
+}
+
+TEST(EncoderTest, BicolorRegionBecomesBitmaps) {
+  Framebuffer fb(64, 32, kWhite);
+  // Checkerboard of two colors: classic text-like content.
+  for (int32_t y = 0; y < 32; ++y) {
+    for (int32_t x = 0; x < 64; ++x) {
+      if (((x / 2) ^ (y / 2)) & 1) {
+        fb.PutPixel(x, y, kBlack);
+      }
+    }
+  }
+  Encoder encoder;
+  std::vector<DisplayCommand> cmds;
+  encoder.EncodeRect(fb, fb.bounds(), &cmds);
+  ASSERT_FALSE(cmds.empty());
+  int64_t bitmap_pixels = 0;
+  for (const auto& cmd : cmds) {
+    EXPECT_EQ(TypeOf(cmd), CommandType::kBitmap);
+    bitmap_pixels += AffectedPixels(cmd);
+  }
+  EXPECT_EQ(bitmap_pixels, 64 * 32);
+}
+
+TEST(EncoderTest, PhotoContentFallsBackToSet) {
+  Framebuffer fb(128, 64);
+  Rng rng(5);
+  fb.SetPixels(Rect{0, 0, 128, 64}, MakePhotoBlock(&rng, 128, 64));
+  Encoder encoder;
+  std::vector<DisplayCommand> cmds;
+  encoder.EncodeRect(fb, fb.bounds(), &cmds);
+  int64_t set_pixels = 0;
+  int64_t total_pixels = 0;
+  for (const auto& cmd : cmds) {
+    total_pixels += AffectedPixels(cmd);
+    if (TypeOf(cmd) == CommandType::kSet) {
+      set_pixels += AffectedPixels(cmd);
+    }
+  }
+  EXPECT_EQ(total_pixels, 128 * 64);
+  EXPECT_GT(set_pixels, total_pixels * 9 / 10);
+}
+
+TEST(EncoderTest, LargeSetSplitsBelowLimit) {
+  EncoderOptions options;
+  options.max_set_pixels = 1000;
+  Framebuffer fb(200, 100);
+  Rng rng(6);
+  fb.SetPixels(Rect{0, 0, 200, 100}, MakePhotoBlock(&rng, 200, 100));
+  Encoder encoder(options);
+  std::vector<DisplayCommand> cmds;
+  encoder.EncodeRect(fb, fb.bounds(), &cmds);
+  for (const auto& cmd : cmds) {
+    if (TypeOf(cmd) == CommandType::kSet) {
+      EXPECT_LE(AffectedPixels(cmd), 1000);
+    }
+  }
+}
+
+TEST(EncoderTest, DisablingHeuristicsForcesSet) {
+  EncoderOptions options;
+  options.enable_fill = false;
+  options.enable_bitmap = false;
+  Framebuffer fb(64, 32, kWhite);
+  Encoder encoder(options);
+  std::vector<DisplayCommand> cmds;
+  encoder.EncodeRect(fb, fb.bounds(), &cmds);
+  for (const auto& cmd : cmds) {
+    EXPECT_EQ(TypeOf(cmd), CommandType::kSet);
+  }
+}
+
+// The round-trip property, over randomized content mixes: a stale framebuffer brought
+// forward by encoded commands must match the source exactly inside the damage and remain
+// untouched outside it.
+class EncoderRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncoderRoundTrip, DamageEncodingReproducesSourceExactly) {
+  Rng rng(1000 + GetParam());
+  Framebuffer before(160, 120);
+  // Shared history: both sides start from the same painted state.
+  before.Fill(Rect{0, 0, 160, 60}, MakePixel(30, 30, 40));
+  before.SetPixels(Rect{10, 70, 64, 40}, MakePhotoBlock(&rng, 64, 40));
+  Framebuffer after = before;  // server's evolving truth
+
+  // Random mutations: fills, bicolor patches, photo patches.
+  Region damage;
+  for (int i = 0; i < 8; ++i) {
+    const Rect r{static_cast<int32_t>(rng.NextBelow(140)),
+                 static_cast<int32_t>(rng.NextBelow(100)),
+                 4 + static_cast<int32_t>(rng.NextBelow(40)),
+                 4 + static_cast<int32_t>(rng.NextBelow(30))};
+    const double kind = rng.NextDouble();
+    if (kind < 0.3) {
+      after.Fill(r, static_cast<Pixel>(rng.NextU64() & 0xffffff));
+    } else if (kind < 0.6) {
+      for (int32_t y = r.y; y < r.bottom(); ++y) {
+        for (int32_t x = r.x; x < r.right(); ++x) {
+          after.PutPixel(x, y, ((x ^ y) & 1) ? kWhite : kBlack);
+        }
+      }
+    } else {
+      after.SetPixels(r, MakePhotoBlock(&rng, r.w, r.h));
+    }
+    damage.Add(Intersect(r, after.bounds()));
+  }
+
+  Encoder encoder;
+  const auto cmds = encoder.EncodeDamage(after, damage);
+  Framebuffer replica = before;  // console's stale soft state
+  for (const auto& cmd : cmds) {
+    EXPECT_TRUE(ApplyCommand(cmd, &replica));
+  }
+  EXPECT_EQ(replica.ContentHash(), after.ContentHash());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomizedContent, EncoderRoundTrip, ::testing::Range(0, 20));
+
+TEST(EncoderTest, CommandsStayInsideDamage) {
+  Rng rng(77);
+  Framebuffer fb(100, 100);
+  fb.SetPixels(Rect{0, 0, 100, 100}, MakePhotoBlock(&rng, 100, 100));
+  Region damage;
+  damage.Add(Rect{10, 10, 30, 30});
+  damage.Add(Rect{60, 60, 20, 20});
+  Encoder encoder;
+  for (const auto& cmd : encoder.EncodeDamage(fb, damage)) {
+    const Rect dst = DestinationOf(cmd);
+    bool contained = false;
+    for (const Rect& r : damage.rects()) {
+      contained |= r.ContainsRect(dst);
+    }
+    EXPECT_TRUE(contained) << dst.ToString();
+  }
+}
+
+TEST(EncoderTest, AccumulateCountsPerType) {
+  Framebuffer fb(64, 64, kWhite);
+  Encoder encoder;
+  std::vector<DisplayCommand> cmds;
+  encoder.EncodeRect(fb, fb.bounds(), &cmds);
+  EncodeStats stats[6] = {};
+  Encoder::Accumulate(cmds, stats);
+  EXPECT_GT(stats[static_cast<size_t>(CommandType::kFill)].commands, 0);
+  EXPECT_EQ(stats[static_cast<size_t>(CommandType::kSet)].commands, 0);
+  EXPECT_EQ(stats[static_cast<size_t>(CommandType::kFill)].uncompressed_bytes, 64 * 64 * 3);
+}
+
+TEST(EncoderTest, CompressionOnTextBeatsTenX) {
+  // Text screen: white background with bicolor glyph-like rows.
+  Framebuffer fb(640, 480, kWhite);
+  Rng rng(9);
+  for (int32_t row = 0; row < 30; ++row) {
+    const int32_t y0 = row * 16;
+    for (int32_t x = 8; x < 632; ++x) {
+      for (int32_t y = y0 + 2; y < y0 + 12; ++y) {
+        if (rng.NextBool(0.3)) {
+          fb.PutPixel(x, y, kBlack);
+        }
+      }
+    }
+  }
+  Encoder encoder;
+  std::vector<DisplayCommand> cmds;
+  encoder.EncodeRect(fb, fb.bounds(), &cmds);
+  EncodeStats stats[6] = {};
+  Encoder::Accumulate(cmds, stats);
+  int64_t wire = 0;
+  int64_t raw = 0;
+  for (const auto& s : stats) {
+    wire += s.wire_bytes;
+    raw += s.uncompressed_bytes;
+  }
+  EXPECT_GT(raw, wire * 10) << "text should compress at least 10x (paper Figure 4)";
+}
+
+TEST(ScrollDetectTest, FindsPureVerticalScroll) {
+  Rng rng(21);
+  Framebuffer before(100, 200);
+  before.SetPixels(Rect{0, 0, 100, 200}, MakePhotoBlock(&rng, 100, 200));
+  Framebuffer after = before;
+  after.CopyRect(0, 16, Rect{0, 0, 100, 184});  // scrolled up by 16
+  // Fill the exposed strip with fresh content.
+  after.Fill(Rect{0, 184, 100, 16}, kWhite);
+  const int32_t dy = DetectVerticalScroll(before, after, Rect{0, 0, 100, 184}, 32);
+  EXPECT_EQ(dy, -16);
+}
+
+TEST(ScrollDetectTest, NoScrollReturnsZero) {
+  Rng rng(22);
+  Framebuffer before(64, 64);
+  before.SetPixels(Rect{0, 0, 64, 64}, MakePhotoBlock(&rng, 64, 64));
+  Framebuffer after(64, 64);
+  after.SetPixels(Rect{0, 0, 64, 64}, MakePhotoBlock(&rng, 64, 64));
+  EXPECT_EQ(DetectVerticalScroll(before, after, before.bounds(), 16), 0);
+}
+
+}  // namespace
+}  // namespace slim

@@ -1,0 +1,189 @@
+// Tests for resource profiles, the trace-driven load generator, and both yardsticks.
+
+#include <gtest/gtest.h>
+
+#include "src/loadgen/loadgen.h"
+
+namespace slim {
+namespace {
+
+TEST(ProfileTest, SynthesizedAveragesMatchParams) {
+  for (int k = 0; k < kAppKindCount; ++k) {
+    const auto kind = static_cast<AppKind>(k);
+    const AppResourceParams params = ResourceParamsFor(kind);
+    // Long horizon so the stochastic interval draws converge.
+    const ResourceProfile profile = SynthesizeProfile(kind, Seconds(3600 * 4), Rng(7));
+    EXPECT_NEAR(profile.AverageCpu(), params.mean_cpu, params.mean_cpu * 0.25)
+        << AppKindName(kind);
+    EXPECT_NEAR(profile.AverageNetBps(), params.mean_net_bps, params.mean_net_bps * 0.3)
+        << AppKindName(kind);
+    EXPECT_LE(profile.PeakResidentBytes(), params.working_set_bytes);
+    EXPECT_GT(profile.PeakResidentBytes(), params.working_set_bytes / 2);
+  }
+}
+
+TEST(ProfileTest, IntervalValuesAreSane) {
+  const ResourceProfile profile = SynthesizeProfile(AppKind::kNetscape, Seconds(600), Rng(3));
+  EXPECT_EQ(profile.intervals.size(), 120u);
+  for (const auto& interval : profile.intervals) {
+    EXPECT_GE(interval.cpu_fraction, 0.0);
+    EXPECT_LE(interval.cpu_fraction, 1.0);
+    EXPECT_GE(interval.net_bytes, 0);
+    EXPECT_GE(interval.resident_bytes, 0);
+  }
+}
+
+TEST(LoadGeneratorTest, ConsumesApproximatelyProfileCpuWhenUnderloaded) {
+  Simulator sim;
+  MpScheduler sched(&sim, {});
+  const ResourceProfile profile = SynthesizeProfile(AppKind::kNetscape, Seconds(300), Rng(5));
+  LoadGeneratorProcess proc(&sim, &sched, profile, Rng(6));
+  proc.Start();
+  sim.Run();
+  const double target = profile.AverageCpu() * 300.0;
+  EXPECT_NEAR(ToSeconds(proc.cpu_consumed()), target, target * 0.1);
+  EXPECT_LT(ToSeconds(proc.cpu_discarded()), target * 0.05);
+}
+
+TEST(LoadGeneratorTest, OverloadDiscardsInsteadOfBackloggingForever) {
+  // 30 Netscape-class users on one CPU: offered ~4x capacity. The generators must discard
+  // the excess at interval boundaries (paper semantics), keeping the system stable.
+  Simulator sim;
+  MpScheduler sched(&sim, {});
+  std::vector<std::unique_ptr<LoadGeneratorProcess>> procs;
+  Rng rng(9);
+  for (int i = 0; i < 30; ++i) {
+    procs.push_back(std::make_unique<LoadGeneratorProcess>(
+        &sim, &sched, SynthesizeProfile(AppKind::kNetscape, Seconds(120), rng.Split()),
+        rng.Split()));
+    procs.back()->Start();
+  }
+  sim.Run();
+  SimDuration consumed = 0;
+  SimDuration discarded = 0;
+  for (const auto& p : procs) {
+    consumed += p->cpu_consumed();
+    discarded += p->cpu_discarded();
+  }
+  // Cannot consume more than one CPU's worth of the 120 s horizon.
+  EXPECT_LE(consumed, Seconds(125));
+  EXPECT_GT(discarded, Seconds(10)) << "oversubscription must be visible as discards";
+  EXPECT_GT(sched.Utilization(), 0.9);
+}
+
+TEST(CpuYardstickTest, UnloadedAddedLatencyIsZero) {
+  Simulator sim;
+  MpScheduler sched(&sim, {});
+  CpuYardstick yardstick(&sim, &sched);
+  yardstick.Start();
+  sim.RunUntil(Seconds(10));
+  EXPECT_GT(yardstick.added_latency_ms().size(), 50u);
+  EXPECT_NEAR(yardstick.AverageAddedLatencyMs(), 0.0, 0.01);
+}
+
+TEST(CpuYardstickTest, CyclePeriodIsBurstPlusThink) {
+  Simulator sim;
+  MpScheduler sched(&sim, {});
+  CpuYardstick yardstick(&sim, &sched);
+  yardstick.Start();
+  sim.RunUntil(Seconds(9));
+  // 180 ms per cycle => 50 cycles in 9 s.
+  EXPECT_NEAR(static_cast<double>(yardstick.added_latency_ms().size()), 50.0, 2.0);
+}
+
+TEST(CpuYardstickTest, LatencyGrowsWithBackgroundLoad) {
+  auto run = [](int users) {
+    Simulator sim;
+    MpScheduler sched(&sim, {});
+    Rng rng(31);
+    std::vector<std::unique_ptr<LoadGeneratorProcess>> procs;
+    for (int i = 0; i < users; ++i) {
+      procs.push_back(std::make_unique<LoadGeneratorProcess>(
+          &sim, &sched, SynthesizeProfile(AppKind::kPhotoshop, Seconds(60), rng.Split()),
+          rng.Split()));
+      procs.back()->Start();
+    }
+    CpuYardstick yardstick(&sim, &sched);
+    yardstick.Start();
+    sim.RunUntil(Seconds(60));
+    return yardstick.AverageAddedLatencyMs();
+  };
+  const double idle = run(0);
+  const double heavy = run(40);
+  EXPECT_LT(idle, 1.0);
+  EXPECT_GT(heavy, idle + 5.0);
+}
+
+TEST(NetYardstickTest, QuietNetworkRttIsSubMillisecond) {
+  Simulator sim;
+  Fabric fabric(&sim, {});
+  const NodeId server = fabric.AddNode();
+  const NodeId probe = fabric.AddNode();
+  InstallEchoResponder(&fabric, server);
+  NetYardstick yardstick(&sim, &fabric, probe, server);
+  yardstick.Start();
+  sim.RunUntil(Seconds(5));
+  ASSERT_GT(yardstick.rtt_ms().size(), 20u);
+  EXPECT_EQ(yardstick.timeouts(), 0);
+  // 64 B up + 1200 B down over two 100 Mbps hops + 4x5 us propagation: well under 1 ms.
+  EXPECT_LT(yardstick.AverageRttMs(), 1.0);
+  EXPECT_GT(yardstick.AverageRttMs(), 0.05);
+}
+
+TEST(NetYardstickTest, RttGrowsWithBackgroundTraffic) {
+  auto run = [](int flows) {
+    Simulator sim;
+    Fabric fabric(&sim, {});
+    const NodeId server = fabric.AddNode();
+    const NodeId sink = fabric.AddNode();
+    const NodeId probe = fabric.AddNode();
+    InstallEchoResponder(&fabric, server);
+    Rng rng(17);
+    std::vector<std::unique_ptr<TrafficGenerator>> gens;
+    for (int i = 0; i < flows; ++i) {
+      gens.push_back(std::make_unique<TrafficGenerator>(
+          &sim, &fabric, server, sink,
+          SynthesizeProfile(AppKind::kNetscape, Seconds(30), rng.Split()), rng.Split()));
+      gens.back()->Start();
+    }
+    NetYardstick yardstick(&sim, &fabric, probe, server);
+    yardstick.Start();
+    sim.RunUntil(Seconds(30));
+    return yardstick.AverageRttMs();
+  };
+  const double quiet = run(0);
+  const double busy = run(120);  // ~80% of the server link
+  EXPECT_GT(busy, 2 * quiet);
+}
+
+TEST(TrafficGeneratorTest, OffersApproximatelyProfileBytes) {
+  Simulator sim;
+  Fabric fabric(&sim, {});
+  const NodeId src = fabric.AddNode();
+  const NodeId sink = fabric.AddNode();
+  ResourceProfile profile = SynthesizeProfile(AppKind::kPhotoshop, Seconds(120), Rng(3));
+  int64_t profile_bytes = 0;
+  for (const auto& interval : profile.intervals) {
+    profile_bytes += interval.net_bytes;
+  }
+  TrafficGenerator gen(&sim, &fabric, src, sink, profile, Rng(4));
+  gen.Start();
+  sim.Run();
+  EXPECT_NEAR(static_cast<double>(gen.bytes_offered()),
+              static_cast<double>(profile_bytes), 0.15 * static_cast<double>(profile_bytes));
+}
+
+TEST(NetYardstickTest, TimeoutRecoversWhenResponderSilent) {
+  Simulator sim;
+  Fabric fabric(&sim, {});
+  const NodeId server = fabric.AddNode();  // no responder installed
+  const NodeId probe = fabric.AddNode();
+  NetYardstick yardstick(&sim, &fabric, probe, server);
+  yardstick.Start();
+  sim.RunUntil(Seconds(3));
+  EXPECT_GT(yardstick.timeouts(), 3);
+  EXPECT_TRUE(yardstick.rtt_ms().empty());
+}
+
+}  // namespace
+}  // namespace slim

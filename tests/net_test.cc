@@ -1,0 +1,364 @@
+// Tests for the simulated fabric (links, switch, queues) and the SLIM transport
+// (fragmentation, reassembly, NACK replay, duplicate suppression).
+
+#include <gtest/gtest.h>
+
+#include "src/net/fabric.h"
+#include "src/net/transport.h"
+#include "src/sim/simulator.h"
+
+namespace slim {
+namespace {
+
+TEST(FabricTest, DeliversDatagramBetweenNodes) {
+  Simulator sim;
+  Fabric fabric(&sim, {});
+  const NodeId a = fabric.AddNode();
+  const NodeId b = fabric.AddNode();
+  std::vector<uint8_t> received;
+  fabric.SetReceiver(b, [&](Datagram d) { received = d.payload; });
+  fabric.Send(Datagram{a, b, {1, 2, 3}});
+  sim.Run();
+  EXPECT_EQ(received, (std::vector<uint8_t>{1, 2, 3}));
+}
+
+TEST(FabricTest, LatencyIsSerializationPlusPropagationTwice) {
+  // Store-and-forward: host link then switch egress link, each 5 us propagation.
+  Simulator sim;
+  FabricOptions options;
+  options.link.bits_per_second = 100'000'000;
+  options.link.propagation = Microseconds(5);
+  Fabric fabric(&sim, options);
+  const NodeId a = fabric.AddNode();
+  const NodeId b = fabric.AddNode();
+  SimTime arrival = -1;
+  fabric.SetReceiver(b, [&](Datagram) { arrival = sim.now(); });
+  const int64_t payload = 1000;
+  fabric.Send(Datagram{a, b, std::vector<uint8_t>(payload)});
+  sim.Run();
+  const SimDuration tx = TransmissionDelay(payload + kDatagramOverheadBytes, 100'000'000);
+  EXPECT_EQ(arrival, 2 * tx + 2 * Microseconds(5));
+}
+
+TEST(FabricTest, UnknownDestinationCountsAsMisrouted) {
+  Simulator sim;
+  Fabric fabric(&sim, {});
+  const NodeId a = fabric.AddNode();
+  fabric.Send(Datagram{a, 99, {1}});
+  sim.Run();
+  EXPECT_EQ(fabric.datagrams_misrouted(), 1);
+}
+
+TEST(FabricTest, SlowLinkDelaysDelivery) {
+  Simulator sim;
+  Fabric fabric(&sim, {});
+  const NodeId fast = fabric.AddNode();
+  LinkOptions slow;
+  slow.bits_per_second = 1'000'000;  // 1 Mbps home link
+  const NodeId home = fabric.AddNode(slow);
+  SimTime arrival = -1;
+  fabric.SetReceiver(home, [&](Datagram) { arrival = sim.now(); });
+  fabric.Send(Datagram{fast, home, std::vector<uint8_t>(1454)});
+  sim.Run();
+  // The 1 Mbps egress dominates: 1500 B * 8 / 1 Mbps = 12 ms.
+  EXPECT_GT(arrival, Milliseconds(12));
+  EXPECT_LT(arrival, Milliseconds(13));
+}
+
+TEST(FabricTest, QueueOverflowDropsAtSwitchEgress) {
+  // Two senders converging on one egress port offer 2x its line rate; the shallow egress
+  // queue must overflow while the host uplinks (paced at line rate) never drop.
+  Simulator sim;
+  FabricOptions options;
+  options.link.queue_limit_bytes = 10'000;
+  Fabric fabric(&sim, options);
+  const NodeId a1 = fabric.AddNode();
+  const NodeId a2 = fabric.AddNode();
+  const NodeId b = fabric.AddNode();
+  int delivered = 0;
+  fabric.SetReceiver(b, [&](Datagram) { ++delivered; });
+  for (int i = 0; i < 100; ++i) {
+    fabric.Send(Datagram{a1, b, std::vector<uint8_t>(1400)});
+    fabric.Send(Datagram{a2, b, std::vector<uint8_t>(1400)});
+  }
+  sim.Run();
+  EXPECT_LT(delivered, 200);
+  EXPECT_EQ(fabric.downlink_stats(b).datagrams_dropped_queue, 200 - delivered);
+  EXPECT_EQ(fabric.uplink_stats(a1).datagrams_dropped_queue, 0);
+}
+
+TEST(FabricTest, HostUplinkAbsorbsBursts) {
+  // The same burst that overflows a switch egress queue survives the host-side uplink.
+  Simulator sim;
+  FabricOptions options;
+  options.link.queue_limit_bytes = 10'000;
+  options.host_queue_bytes = 8 * 1024 * 1024;
+  Fabric fabric(&sim, options);
+  const NodeId a = fabric.AddNode();
+  (void)fabric.AddNode();
+  for (int i = 0; i < 100; ++i) {
+    fabric.Send(Datagram{a, 1, std::vector<uint8_t>(1400)});
+  }
+  sim.Run();
+  EXPECT_EQ(fabric.uplink_stats(a).datagrams_dropped_queue, 0);
+}
+
+TEST(FabricTest, LossInjectionDropsApproximatelyTheConfiguredFraction) {
+  Simulator sim;
+  FabricOptions options;
+  options.link.loss_probability = 0.2;
+  Fabric fabric(&sim, options);
+  const NodeId a = fabric.AddNode();
+  const NodeId b = fabric.AddNode();
+  int delivered = 0;
+  fabric.SetReceiver(b, [&](Datagram) { ++delivered; });
+  std::function<void(int)> send_next = [&](int i) {
+    if (i >= 2000) {
+      return;
+    }
+    fabric.Send(Datagram{a, b, {0}});
+    sim.Schedule(Microseconds(50), [&, i] { send_next(i + 1); });
+  };
+  send_next(0);
+  sim.Run();
+  // Two lossy hops: survival probability 0.64.
+  EXPECT_NEAR(delivered / 2000.0, 0.64, 0.05);
+}
+
+TEST(TransportTest, SmallMessageRoundTrip) {
+  Simulator sim;
+  Fabric fabric(&sim, {});
+  SlimEndpoint a(&fabric, fabric.AddNode());
+  SlimEndpoint b(&fabric, fabric.AddNode());
+  std::vector<Message> received;
+  b.set_handler([&](const Message& m, NodeId) { received.push_back(m); });
+  a.Send(b.node(), 5, KeyEventMsg{42, true});
+  sim.Run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].session_id, 5u);
+  EXPECT_EQ(std::get<KeyEventMsg>(received[0].body).keycode, 42u);
+}
+
+TEST(TransportTest, LargeMessageFragmentsAndReassembles) {
+  Simulator sim;
+  Fabric fabric(&sim, {});
+  SlimEndpoint a(&fabric, fabric.AddNode());
+  SlimEndpoint b(&fabric, fabric.AddNode());
+  SetCommand cmd;
+  cmd.dst = Rect{0, 0, 200, 100};
+  cmd.rgb.assign(200 * 100 * 3, 0xab);
+  std::vector<Message> received;
+  b.set_handler([&](const Message& m, NodeId) { received.push_back(m); });
+  a.Send(b.node(), 1, cmd);
+  sim.Run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(std::get<SetCommand>(received[0].body), cmd);
+  EXPECT_GT(a.stats().fragments_sent, 40);  // 60 KB at ~1.5 KB MTU
+}
+
+TEST(TransportTest, SequenceNumbersIncreasePerPeer) {
+  Simulator sim;
+  Fabric fabric(&sim, {});
+  SlimEndpoint a(&fabric, fabric.AddNode());
+  SlimEndpoint b(&fabric, fabric.AddNode());
+  EXPECT_EQ(a.Send(b.node(), 1, PingMsg{1}), 1u);
+  EXPECT_EQ(a.Send(b.node(), 1, PingMsg{2}), 2u);
+  EXPECT_EQ(a.Send(b.node(), 1, PingMsg{3}), 3u);
+}
+
+TEST(TransportTest, GapTriggersNackAndReplayRecovers) {
+  Simulator sim;
+  FabricOptions options;
+  options.link.loss_probability = 0.15;
+  Fabric fabric(&sim, options);
+  SlimEndpoint a(&fabric, fabric.AddNode());
+  SlimEndpoint b(&fabric, fabric.AddNode());
+  int received = 0;
+  b.set_handler([&](const Message&, NodeId) { ++received; });
+  // Paced sends so each loss creates a detectable gap before the next arrival.
+  std::function<void(int)> send_next = [&](int i) {
+    if (i >= 300) {
+      return;
+    }
+    a.Send(b.node(), 1, PingMsg{static_cast<uint64_t>(i)});
+    sim.Schedule(Milliseconds(2), [&, i] { send_next(i + 1); });
+  };
+  send_next(0);
+  sim.Run();
+  EXPECT_GT(b.stats().nacks_sent, 0);
+  EXPECT_GT(a.stats().replays_sent, 0);
+  // Replay recovers most of the ~28% two-hop loss. Recovery is driven by later arrivals,
+  // so losses near the end of the stream (and lost replays of lost NACKs) can stay lost.
+  EXPECT_GT(received, 265);
+}
+
+TEST(TransportTest, DuplicateDeliveryIsSuppressed) {
+  Simulator sim;
+  Fabric fabric(&sim, {});
+  SlimEndpoint a(&fabric, fabric.AddNode());
+  SlimEndpoint b(&fabric, fabric.AddNode());
+  int received = 0;
+  b.set_handler([&](const Message&, NodeId) { ++received; });
+  a.Send(b.node(), 1, PingMsg{7});
+  sim.Run();
+  // Force a replay of everything: b NACKs the already-received message.
+  b.Send(a.node(), 1, NackMsg{1, 1});
+  sim.Run();
+  EXPECT_EQ(a.stats().replays_sent, 1);
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(b.stats().duplicate_messages, 1);
+}
+
+TEST(TransportTest, ReorderingToleratedByReassembly) {
+  Simulator sim;
+  FabricOptions options;
+  options.link.reorder_jitter = Microseconds(400);
+  Fabric fabric(&sim, options);
+  SlimEndpoint a(&fabric, fabric.AddNode());
+  EndpointOptions no_nack;
+  no_nack.enable_nack = false;
+  SlimEndpoint b(&fabric, fabric.AddNode(), no_nack);
+  SetCommand cmd;
+  cmd.dst = Rect{0, 0, 100, 100};
+  cmd.rgb.assign(100 * 100 * 3, 0x7e);
+  int got = 0;
+  b.set_handler([&](const Message& m, NodeId) {
+    if (std::get<SetCommand>(m.body) == cmd) {
+      ++got;
+    }
+  });
+  for (int i = 0; i < 5; ++i) {
+    a.Send(b.node(), 1, cmd);
+  }
+  sim.Run();
+  EXPECT_EQ(got, 5);
+}
+
+TEST(TransportBatchingTest, SmallMessagesCoalesceIntoOneDatagram) {
+  Simulator sim;
+  Fabric fabric(&sim, {});
+  EndpointOptions batching;
+  batching.enable_batching = true;
+  SlimEndpoint a(&fabric, fabric.AddNode(), batching);
+  SlimEndpoint b(&fabric, fabric.AddNode());
+  std::vector<uint64_t> seqs;
+  b.set_handler([&](const Message& m, NodeId) { seqs.push_back(m.seq); });
+  for (int i = 0; i < 10; ++i) {
+    a.Send(b.node(), 3, FillCommand{Rect{i, 0, 5, 5}, kWhite});
+  }
+  sim.Run();
+  ASSERT_EQ(seqs.size(), 10u);
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    EXPECT_EQ(seqs[i], i + 1);  // in order, nothing lost
+  }
+  // All ten fills shared one datagram instead of ten.
+  EXPECT_EQ(a.stats().batches_sent, 1);
+  EXPECT_EQ(a.stats().fragments_sent, 1);
+  EXPECT_EQ(a.stats().messages_batched, 10);
+}
+
+TEST(TransportBatchingTest, LargeMessageFlushesPendingBatchFirst) {
+  // Ordering property: a held FILL must arrive before a later big SET that bypasses the
+  // batch, or overlapping display commands would apply out of order.
+  Simulator sim;
+  Fabric fabric(&sim, {});
+  EndpointOptions batching;
+  batching.enable_batching = true;
+  SlimEndpoint a(&fabric, fabric.AddNode(), batching);
+  SlimEndpoint b(&fabric, fabric.AddNode());
+  std::vector<MessageType> order;
+  b.set_handler([&](const Message& m, NodeId) { order.push_back(TypeOfMessage(m)); });
+  a.Send(b.node(), 1, FillCommand{Rect{0, 0, 64, 64}, kWhite});
+  SetCommand big;
+  big.dst = Rect{0, 0, 64, 64};
+  big.rgb.assign(64 * 64 * 3, 1);
+  a.Send(b.node(), 1, big);
+  sim.Run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], MessageType::kFill);
+  EXPECT_EQ(order[1], MessageType::kSet);
+}
+
+TEST(TransportBatchingTest, BatchFlushesOnDelayWhenQuiet) {
+  Simulator sim;
+  Fabric fabric(&sim, {});
+  EndpointOptions batching;
+  batching.enable_batching = true;
+  batching.batch_delay = Milliseconds(5);
+  SlimEndpoint a(&fabric, fabric.AddNode(), batching);
+  SlimEndpoint b(&fabric, fabric.AddNode());
+  SimTime delivered_at = -1;
+  b.set_handler([&](const Message&, NodeId) { delivered_at = sim.now(); });
+  a.Send(b.node(), 1, KeyEventMsg{65, true});
+  sim.Run();
+  EXPECT_GE(delivered_at, Milliseconds(5));  // held for the batch window
+  EXPECT_LT(delivered_at, Milliseconds(6));
+}
+
+TEST(TransportBatchingTest, SavesFramingBytesForTypingTraffic) {
+  // The Section 5.4 claim: batching + header compression dramatically shrinks the framing
+  // overhead of small-command traffic (typing echoes on a modem link).
+  auto wire_bytes_for = [](bool batching_enabled) {
+    Simulator sim;
+    Fabric fabric(&sim, {});
+    EndpointOptions options;
+    options.enable_batching = batching_enabled;
+    SlimEndpoint a(&fabric, fabric.AddNode(), options);
+    SlimEndpoint b(&fabric, fabric.AddNode());
+    b.set_handler([](const Message&, NodeId) {});
+    for (int burst = 0; burst < 20; ++burst) {
+      for (int i = 0; i < 5; ++i) {
+        BitmapCommand glyph;
+        glyph.dst = Rect{i * 8, 0, 8, 13};
+        glyph.bits.assign(13, 0x3c);
+        a.Send(b.node(), 1, glyph);
+      }
+      sim.Run();
+    }
+    return fabric.uplink_stats(a.node()).bytes_sent;
+  };
+  const int64_t plain = wire_bytes_for(false);
+  const int64_t batched = wire_bytes_for(true);
+  // 5 glyphs per burst: 5 x 116 framed bytes plain vs one 293-byte batch datagram (~1.98x).
+  EXPECT_LT(batched * 19, plain * 10) << "batching should nearly halve small-command framing";
+}
+
+TEST(TransportBatchingTest, BatchedTrafficRecoversFromLossViaNack) {
+  Simulator sim;
+  FabricOptions lossy;
+  lossy.link.loss_probability = 0.1;
+  Fabric fabric(&sim, lossy);
+  EndpointOptions batching;
+  batching.enable_batching = true;
+  SlimEndpoint a(&fabric, fabric.AddNode(), batching);
+  SlimEndpoint b(&fabric, fabric.AddNode());
+  int received = 0;
+  b.set_handler([&](const Message&, NodeId) { ++received; });
+  std::function<void(int)> send_next = [&](int i) {
+    if (i >= 200) {
+      return;
+    }
+    a.Send(b.node(), 1, PingMsg{static_cast<uint64_t>(i)});
+    sim.Schedule(Milliseconds(8), [&, i] { send_next(i + 1); });
+  };
+  send_next(0);
+  sim.Run();
+  EXPECT_GT(received, 180);
+  EXPECT_GT(a.stats().replays_sent, 0);
+}
+
+TEST(TransportTest, CorruptDatagramIgnored) {
+  Simulator sim;
+  Fabric fabric(&sim, {});
+  SlimEndpoint a(&fabric, fabric.AddNode());
+  SlimEndpoint b(&fabric, fabric.AddNode());
+  int received = 0;
+  b.set_handler([&](const Message&, NodeId) { ++received; });
+  fabric.Send(Datagram{a.node(), b.node(), {0xde, 0xad, 0xbe, 0xef}});
+  sim.Run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(b.stats().reassembly_failures, 1);
+}
+
+}  // namespace
+}  // namespace slim

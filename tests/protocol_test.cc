@@ -1,0 +1,230 @@
+// Tests for wire primitives and SLIM message serialization.
+
+#include <gtest/gtest.h>
+
+#include "src/protocol/messages.h"
+#include "src/protocol/wire.h"
+#include "src/util/rng.h"
+
+namespace slim {
+namespace {
+
+TEST(WireTest, RoundTripScalars) {
+  ByteWriter w;
+  w.U8(0xab);
+  w.U16(0x1234);
+  w.U32(0xdeadbeef);
+  w.U64(0x0123456789abcdefull);
+  w.I32(-42);
+  w.I64(-1'000'000'000'000);
+  const auto buf = w.Take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.U8(), 0xab);
+  EXPECT_EQ(r.U16(), 0x1234);
+  EXPECT_EQ(r.U32(), 0xdeadbeefu);
+  EXPECT_EQ(r.U64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.I32(), -42);
+  EXPECT_EQ(r.I64(), -1'000'000'000'000);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(WireTest, LittleEndianLayout) {
+  ByteWriter w;
+  w.U32(0x04030201);
+  const auto buf = w.data();
+  EXPECT_EQ(buf[0], 1);
+  EXPECT_EQ(buf[1], 2);
+  EXPECT_EQ(buf[2], 3);
+  EXPECT_EQ(buf[3], 4);
+}
+
+TEST(WireTest, ReadPastEndSetsNotOk) {
+  const std::vector<uint8_t> buf{1, 2};
+  ByteReader r(buf);
+  EXPECT_EQ(r.U32(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireTest, OkStaysFalseAfterFailure) {
+  const std::vector<uint8_t> buf{1, 2, 3, 4, 5};
+  ByteReader r(buf);
+  r.U32();
+  r.U32();  // fails
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.U8(), 0);  // subsequent reads also return zero
+}
+
+Message RoundTrip(const Message& msg) {
+  const auto bytes = SerializeMessage(msg);
+  EXPECT_EQ(bytes.size(), MessageWireSize(msg));
+  auto parsed = ParseMessage(bytes);
+  EXPECT_TRUE(parsed.has_value());
+  return *parsed;
+}
+
+TEST(MessageTest, FillRoundTrip) {
+  Message msg;
+  msg.session_id = 7;
+  msg.seq = 99;
+  msg.body = FillCommand{Rect{1, 2, 30, 40}, MakePixel(9, 8, 7)};
+  const Message back = RoundTrip(msg);
+  EXPECT_EQ(back.session_id, 7u);
+  EXPECT_EQ(back.seq, 99u);
+  EXPECT_EQ(std::get<FillCommand>(back.body), std::get<FillCommand>(msg.body));
+}
+
+TEST(MessageTest, SetRoundTripPreservesPixels) {
+  Rng rng(3);
+  SetCommand cmd;
+  cmd.dst = Rect{5, 6, 4, 3};
+  for (int i = 0; i < 4 * 3 * 3; ++i) {
+    cmd.rgb.push_back(static_cast<uint8_t>(rng.NextBelow(256)));
+  }
+  Message msg{1, 2, cmd};
+  const Message back = RoundTrip(msg);
+  EXPECT_EQ(std::get<SetCommand>(back.body), cmd);
+}
+
+TEST(MessageTest, BitmapRoundTrip) {
+  BitmapCommand cmd;
+  cmd.dst = Rect{0, 0, 12, 5};
+  cmd.fg = kWhite;
+  cmd.bg = MakePixel(1, 2, 3);
+  cmd.bits.assign(2 * 5, 0x5a);
+  Message msg{3, 4, cmd};
+  EXPECT_EQ(std::get<BitmapCommand>(RoundTrip(msg).body), cmd);
+}
+
+TEST(MessageTest, CopyRoundTrip) {
+  const CopyCommand cmd{-4, 10, Rect{8, 8, 100, 50}};
+  Message msg{1, 1, cmd};
+  EXPECT_EQ(std::get<CopyCommand>(RoundTrip(msg).body), cmd);
+}
+
+TEST(MessageTest, CscsRoundTripAllDepths) {
+  for (const CscsDepth depth : {CscsDepth::k16, CscsDepth::k12, CscsDepth::k8, CscsDepth::k6,
+                                CscsDepth::k5}) {
+    CscsCommand cmd;
+    cmd.src_w = 16;
+    cmd.src_h = 8;
+    cmd.dst = Rect{0, 0, 32, 16};
+    cmd.depth = depth;
+    cmd.payload.assign(CscsPayloadBytes(16, 8, depth), 0x3c);
+    Message msg{1, 5, cmd};
+    EXPECT_EQ(std::get<CscsCommand>(RoundTrip(msg).body), cmd);
+  }
+}
+
+TEST(MessageTest, InputAndControlRoundTrips) {
+  EXPECT_EQ(std::get<KeyEventMsg>(RoundTrip(Message{1, 1, KeyEventMsg{65, true}}).body),
+            (KeyEventMsg{65, true}));
+  EXPECT_EQ(
+      std::get<MouseEventMsg>(RoundTrip(Message{1, 2, MouseEventMsg{10, -2, 3, true}}).body),
+      (MouseEventMsg{10, -2, 3, true}));
+  EXPECT_EQ(std::get<StatusMsg>(RoundTrip(Message{1, 3, StatusMsg{2, 888}}).body),
+            (StatusMsg{2, 888}));
+  EXPECT_EQ(std::get<NackMsg>(RoundTrip(Message{1, 0, NackMsg{5, 9}}).body), (NackMsg{5, 9}));
+  EXPECT_EQ(
+      std::get<SessionAttachMsg>(RoundTrip(Message{0, 4, SessionAttachMsg{0xcafe}}).body),
+      (SessionAttachMsg{0xcafe}));
+  EXPECT_EQ(std::get<BandwidthRequestMsg>(
+                RoundTrip(Message{1, 5, BandwidthRequestMsg{7, 20'000'000}}).body),
+            (BandwidthRequestMsg{7, 20'000'000}));
+  EXPECT_EQ(std::get<BandwidthGrantMsg>(
+                RoundTrip(Message{1, 6, BandwidthGrantMsg{7, 10'000'000}}).body),
+            (BandwidthGrantMsg{7, 10'000'000}));
+  EXPECT_EQ(std::get<PingMsg>(RoundTrip(Message{1, 7, PingMsg{42}}).body), (PingMsg{42}));
+  EXPECT_EQ(std::get<PongMsg>(RoundTrip(Message{1, 8, PongMsg{42}}).body), (PongMsg{42}));
+}
+
+TEST(MessageTest, AudioRoundTrip) {
+  AudioMsg audio;
+  audio.sample_rate = 44100;
+  audio.samples.assign(333, 0x11);
+  EXPECT_EQ(std::get<AudioMsg>(RoundTrip(Message{2, 9, audio}).body), audio);
+}
+
+TEST(MessageTest, RejectsBadMagic) {
+  auto bytes = SerializeMessage(Message{1, 1, FillCommand{Rect{0, 0, 1, 1}, 0}});
+  bytes[0] = 0x00;
+  EXPECT_FALSE(ParseMessage(bytes).has_value());
+}
+
+TEST(MessageTest, RejectsTruncatedPayload) {
+  auto bytes = SerializeMessage(Message{1, 1, FillCommand{Rect{0, 0, 1, 1}, 0}});
+  bytes.resize(bytes.size() - 2);
+  EXPECT_FALSE(ParseMessage(bytes).has_value());
+}
+
+TEST(MessageTest, RejectsUnknownType) {
+  auto bytes = SerializeMessage(Message{1, 1, FillCommand{Rect{0, 0, 1, 1}, 0}});
+  bytes[1] = 0x77;  // not a valid MessageType
+  EXPECT_FALSE(ParseMessage(bytes).has_value());
+}
+
+TEST(MessageTest, RejectsInvalidCscsDepth) {
+  CscsCommand cmd;
+  cmd.src_w = 2;
+  cmd.src_h = 2;
+  cmd.dst = Rect{0, 0, 2, 2};
+  cmd.depth = CscsDepth::k8;
+  cmd.payload.assign(CscsPayloadBytes(2, 2, CscsDepth::k8), 0);
+  auto bytes = SerializeMessage(Message{1, 1, cmd});
+  // Depth byte sits after header (20) + src_w/src_h (8) + rect (16).
+  bytes[20 + 8 + 16] = 99;
+  EXPECT_FALSE(ParseMessage(bytes).has_value());
+}
+
+TEST(MessageTest, FuzzRandomBytesNeverCrash) {
+  Rng rng(1234);
+  for (int i = 0; i < 3000; ++i) {
+    std::vector<uint8_t> noise(rng.NextBelow(200));
+    for (auto& b : noise) {
+      b = static_cast<uint8_t>(rng.NextBelow(256));
+    }
+    (void)ParseMessage(noise);  // must not crash or throw
+  }
+}
+
+TEST(MessageTest, FuzzTruncationsOfValidMessageNeverCrash) {
+  SetCommand cmd;
+  cmd.dst = Rect{0, 0, 10, 10};
+  cmd.rgb.assign(300, 7);
+  const auto bytes = SerializeMessage(Message{1, 1, cmd});
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    const std::vector<uint8_t> cut(bytes.begin(), bytes.begin() + len);
+    EXPECT_FALSE(ParseMessage(cut).has_value()) << len;
+  }
+}
+
+TEST(CommandTest, WireSizeTracksPayload) {
+  const FillCommand fill{Rect{0, 0, 100, 100}, 0};
+  EXPECT_EQ(WireSize(DisplayCommand(fill)), kMessageHeaderBytes + 16 + 4);
+  SetCommand set;
+  set.dst = Rect{0, 0, 10, 10};
+  set.rgb.assign(300, 0);
+  EXPECT_EQ(WireSize(DisplayCommand(set)), kMessageHeaderBytes + 16 + 300);
+}
+
+TEST(CommandTest, UncompressedBytesIsThreePerPixel) {
+  const FillCommand fill{Rect{0, 0, 20, 10}, 0};
+  EXPECT_EQ(UncompressedBytes(DisplayCommand(fill)), 20 * 10 * 3);
+}
+
+TEST(CommandTest, PackUnpackRgbRoundTrip) {
+  Rng rng(5);
+  std::vector<Pixel> pixels(257);
+  for (Pixel& p : pixels) {
+    p = static_cast<Pixel>(rng.NextU64() & 0xffffff);
+  }
+  EXPECT_EQ(UnpackRgb(PackRgb(pixels)), pixels);
+}
+
+TEST(CommandTest, TypeNamesStable) {
+  EXPECT_STREQ(CommandTypeName(CommandType::kSet), "SET");
+  EXPECT_STREQ(CommandTypeName(CommandType::kCscs), "CSCS");
+}
+
+}  // namespace
+}  // namespace slim

@@ -1,0 +1,118 @@
+// Tests for the discrete-event simulator core.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace slim {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(Milliseconds(30), [&] { order.push_back(3); });
+  sim.Schedule(Milliseconds(10), [&] { order.push_back(1); });
+  sim.Schedule(Milliseconds(20), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), Milliseconds(30));
+}
+
+TEST(SimulatorTest, EqualTimesRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(Milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, ClockVisibleInsideCallback) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.Schedule(Microseconds(550), [&] { seen = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(seen, Microseconds(550));
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) {
+      sim.Schedule(Milliseconds(1), chain);
+    }
+  };
+  sim.Schedule(0, chain);
+  sim.Run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now(), Milliseconds(4));
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.Schedule(Milliseconds(1), [&] { ran = true; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(SimulatorTest, CancelUnknownIdIsNoop) {
+  Simulator sim;
+  sim.Cancel(12345);
+  bool ran = false;
+  sim.Schedule(0, [&] { ran = true; });
+  sim.Run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockExactly) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(Milliseconds(10), [&] { ++fired; });
+  sim.Schedule(Milliseconds(30), [&] { ++fired; });
+  sim.RunUntil(Milliseconds(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), Milliseconds(20));
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RunUntilSkipsCancelledHead) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.Schedule(Milliseconds(5), [] {});
+  sim.Schedule(Milliseconds(8), [&] { ran = true; });
+  sim.Cancel(id);
+  sim.RunUntil(Milliseconds(10));
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Step());
+  sim.Schedule(0, [] {});
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, PendingEventsTracksQueue) {
+  Simulator sim;
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.Schedule(1, [] {});
+  sim.Schedule(2, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.Run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+}  // namespace
+}  // namespace slim

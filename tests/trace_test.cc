@@ -1,0 +1,121 @@
+// Tests for protocol logging and the paper's post-processing analyses.
+
+#include <gtest/gtest.h>
+
+#include "src/trace/protocol_log.h"
+#include "src/xproto/xcost.h"
+
+namespace slim {
+namespace {
+
+DisplayCommand SmallFill() { return FillCommand{Rect{0, 0, 10, 10}, kWhite}; }
+
+TEST(ProtocolLogTest, CountsInputEvents) {
+  ProtocolLog log;
+  log.RecordInput(Seconds(1), true);
+  log.RecordInput(Seconds(2), false);
+  log.RecordCommand(Seconds(2), SmallFill());
+  EXPECT_EQ(log.input_events(), 2);
+  EXPECT_EQ(log.entries().size(), 3u);
+}
+
+TEST(ProtocolLogTest, InputIntervals) {
+  ProtocolLog log;
+  log.RecordInput(Seconds(1), true);
+  log.RecordInput(Seconds(1) + Milliseconds(100), true);
+  log.RecordInput(Seconds(1) + Milliseconds(350), true);
+  const auto intervals = log.InputIntervalsSeconds();
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_NEAR(intervals[0], 0.1, 1e-9);
+  EXPECT_NEAR(intervals[1], 0.25, 1e-9);
+}
+
+TEST(ProtocolLogTest, AttributionAssignsDisplayToPrecedingEvent) {
+  // The Section 5.2 heuristic: everything between event N and N+1 belongs to N.
+  ProtocolLog log;
+  log.RecordCommand(Milliseconds(5), SmallFill());  // before any event: dropped
+  log.RecordInput(Milliseconds(10), true);
+  log.RecordCommand(Milliseconds(20), SmallFill());
+  log.RecordCommand(Milliseconds(30), SmallFill());
+  log.RecordInput(Milliseconds(100), true);
+  log.RecordCommand(Milliseconds(110), SmallFill());
+  const auto updates = log.AttributeToEvents();
+  ASSERT_EQ(updates.size(), 2u);
+  EXPECT_EQ(updates[0].commands, 2);
+  EXPECT_EQ(updates[0].pixels, 200);
+  EXPECT_EQ(updates[1].commands, 1);
+}
+
+TEST(ProtocolLogTest, AttributionIncludesXCosts) {
+  ProtocolLog log;
+  log.RecordInput(Milliseconds(10), true);
+  log.RecordXRequest(Milliseconds(12), 100);
+  log.RecordXRequest(Milliseconds(14), 50);
+  const auto updates = log.AttributeToEvents();
+  ASSERT_EQ(updates.size(), 1u);
+  EXPECT_EQ(updates[0].x_bytes, 150);
+}
+
+TEST(ProtocolLogTest, AverageBandwidths) {
+  ProtocolLog log;
+  // Span exactly 10 seconds; one display command of known size.
+  log.RecordInput(0, true);
+  SetCommand set;
+  set.dst = Rect{0, 0, 100, 100};
+  set.rgb.assign(100 * 100 * 3, 0);
+  log.RecordCommand(Seconds(5), DisplayCommand(set));
+  log.RecordXRequest(Seconds(6), 10000);
+  log.RecordInput(Seconds(10), true);
+  const double slim_expected =
+      static_cast<double>(WireSize(DisplayCommand(set))) * 8.0 / 10.0;
+  EXPECT_NEAR(log.AverageSlimBps(), slim_expected, 1.0);
+  EXPECT_NEAR(log.AverageXBps(), 10000 * 8.0 / 10.0, 1.0);
+  EXPECT_NEAR(log.AverageRawBps(), 100 * 100 * 3 * 8.0 / 10.0, 1.0);
+}
+
+TEST(ProtocolLogTest, TotalsByTypeSeparateCommands) {
+  ProtocolLog log;
+  log.RecordCommand(0, SmallFill());
+  log.RecordCommand(0, SmallFill());
+  log.RecordCommand(0, CopyCommand{0, 0, Rect{0, 0, 50, 50}});
+  ProtocolLog::TypeTotals totals[6];
+  log.TotalsByType(totals);
+  EXPECT_EQ(totals[static_cast<size_t>(CommandType::kFill)].commands, 2);
+  EXPECT_EQ(totals[static_cast<size_t>(CommandType::kCopy)].commands, 1);
+  EXPECT_EQ(totals[static_cast<size_t>(CommandType::kCopy)].uncompressed_bytes, 50 * 50 * 3);
+  EXPECT_EQ(totals[static_cast<size_t>(CommandType::kSet)].commands, 0);
+}
+
+TEST(ProtocolLogTest, EmptyLogSafeDefaults) {
+  ProtocolLog log;
+  EXPECT_EQ(log.Span(), 0);
+  EXPECT_EQ(log.AverageSlimBps(), 0.0);
+  EXPECT_TRUE(log.AttributeToEvents().empty());
+  EXPECT_TRUE(log.InputIntervalsSeconds().empty());
+}
+
+TEST(XCostTest, RequestSizesFollowCoreProtocol) {
+  EXPECT_EQ(XFillRectBytes(), 20);
+  EXPECT_EQ(XFillRectBytes(3), 36);
+  EXPECT_EQ(XCopyAreaBytes(), 28);
+  EXPECT_EQ(XEventBytes(), 32);
+  EXPECT_EQ(XChangeGcBytes(), 16);
+  // Text: 16-byte request + item header + chars, padded to 4.
+  EXPECT_EQ(XDrawTextBytes(1), 16 + 4);
+  EXPECT_EQ(XDrawTextBytes(10), 16 + 12);
+  // Images: 4 bytes per pixel at depth 24.
+  EXPECT_EQ(XPutImageBytes(100), 24 + 400);
+  EXPECT_EQ(XVideoFrameBytes(720, 480), 24 + 4LL * 720 * 480);
+}
+
+TEST(XCostTest, ImageCostExceedsSlimPackedEncoding) {
+  // The structural reason SLIM wins on image apps (Figure 8): 4 B/px vs 3 B/px + header.
+  const int64_t pixels = 300 * 200;
+  SetCommand set;
+  set.dst = Rect{0, 0, 300, 200};
+  set.rgb.assign(static_cast<size_t>(pixels) * 3, 0);
+  EXPECT_GT(XPutImageBytes(pixels), static_cast<int64_t>(WireSize(DisplayCommand(set))));
+}
+
+}  // namespace
+}  // namespace slim

@@ -1,0 +1,257 @@
+// Tests for src/util: rng, stats, histogram, table, time helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/util/histogram.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+#include "src/util/time.h"
+
+namespace slim {
+namespace {
+
+TEST(TimeTest, UnitConversions) {
+  EXPECT_EQ(Microseconds(1), 1000);
+  EXPECT_EQ(Milliseconds(1), 1000 * 1000);
+  EXPECT_EQ(Seconds(2), 2'000'000'000);
+  EXPECT_DOUBLE_EQ(ToMillis(Milliseconds(5)), 5.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(3)), 3.0);
+}
+
+TEST(TimeTest, TransmissionDelayMatchesLineRate) {
+  // 1500 bytes at 100 Mbps = 120 us.
+  EXPECT_EQ(TransmissionDelay(1500, 100'000'000), Microseconds(120));
+  // Rounds up: 1 byte at 1 Gbps is 8 ns.
+  EXPECT_EQ(TransmissionDelay(1, 1'000'000'000), 8);
+}
+
+TEST(TimeTest, TransmissionDelayPositiveForAnyPayload) {
+  for (int64_t bytes = 1; bytes < 100; ++bytes) {
+    EXPECT_GT(TransmissionDelay(bytes, 1'000'000'000), 0) << bytes;
+  }
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.NextU64() == b.NextU64() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllResidues) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.NextBelow(7));
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextInRangeInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.Add(rng.NextExponential(4.0));
+  }
+  EXPECT_NEAR(stats.mean(), 4.0, 0.15);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(19);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.Add(rng.NextNormal(10.0, 2.0));
+  }
+  EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, ParetoRespectsScale) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.NextPareto(1.5, 2.0), 1.5);
+  }
+}
+
+TEST(RngTest, PoissonMeanApproximatelyCorrect) {
+  Rng rng(29);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.Add(rng.NextPoisson(3.0));
+  }
+  EXPECT_NEAR(stats.mean(), 3.0, 0.15);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.Split();
+  // The child stream should not simply replay the parent's outputs.
+  Rng parent2(31);
+  parent2.NextU64();  // advance past the split draw
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += child.NextU64() == parent2.NextU64() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenSamples) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 25.0);
+}
+
+TEST(PercentileTest, UnsortedInputHandled) {
+  const std::vector<double> v{40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 10.0);
+}
+
+TEST(PercentileTest, EmptyReturnsZero) {
+  EXPECT_EQ(Percentile(std::vector<double>{}, 50), 0.0);
+}
+
+TEST(FitLineTest, RecoversExactLine) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(i);
+    y.push_back(5000.0 + 270.0 * i);  // Table 5: SET startup + per-pixel shape
+  }
+  const LinearFit fit = FitLine(x, y);
+  EXPECT_NEAR(fit.slope, 270.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 5000.0, 1e-6);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLineTest, DegenerateInputs) {
+  const LinearFit empty = FitLine(std::vector<double>{}, std::vector<double>{});
+  EXPECT_EQ(empty.slope, 0.0);
+  const std::vector<double> one_x{3.0};
+  const std::vector<double> one_y{9.0};
+  const LinearFit single = FitLine(one_x, one_y);
+  EXPECT_EQ(single.intercept, 9.0);
+}
+
+TEST(HistogramTest, CdfMatchesCounts) {
+  Histogram h(0.0, 100.0, 1.0);
+  for (int i = 0; i < 100; ++i) {
+    h.Add(i + 0.5);
+  }
+  EXPECT_EQ(h.total_count(), 100);
+  EXPECT_NEAR(h.CdfAt(49.9), 0.5, 0.011);
+  EXPECT_DOUBLE_EQ(h.CdfAt(1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.CdfAt(-5.0), 0.0);
+}
+
+TEST(HistogramTest, InverseCdfFindsMedian) {
+  Histogram h(0.0, 10.0, 0.1);
+  for (int i = 0; i < 1000; ++i) {
+    h.Add(i < 500 ? 2.0 : 8.0);
+  }
+  EXPECT_NEAR(h.InverseCdf(0.5), 2.1, 0.11);
+  EXPECT_NEAR(h.InverseCdf(0.99), 8.1, 0.11);
+}
+
+TEST(HistogramTest, ValuesOutsideRangeClampToEdges) {
+  Histogram h(0.0, 10.0, 1.0);
+  h.Add(-5.0);
+  h.Add(50.0);
+  EXPECT_EQ(h.total_count(), 2);
+  EXPECT_NEAR(h.CdfAt(0.99), 0.5, 1e-9);
+}
+
+TEST(HistogramTest, CdfSeriesEndsAtOne) {
+  Histogram h(0.0, 100.0, 1.0);
+  for (int i = 0; i < 1000; ++i) {
+    h.Add(static_cast<double>(i % 100));
+  }
+  const std::string series = h.CdfSeries(16);
+  ASSERT_FALSE(series.empty());
+  const size_t last_line = series.rfind('\t');
+  EXPECT_NE(last_line, std::string::npos);
+  EXPECT_NEAR(std::stod(series.substr(last_line + 1)), 1.0, 1e-6);
+}
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "10000"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 10000 |"), std::string::npos);
+}
+
+TEST(FormatTest, PrintfSemantics) {
+  EXPECT_EQ(Format("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(Format("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace slim

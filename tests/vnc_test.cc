@@ -1,0 +1,93 @@
+// Tests for the VNC-style client-pull baseline.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/content.h"
+#include "src/net/fabric.h"
+#include "src/server/slim_server.h"
+#include "src/sim/simulator.h"
+#include "src/vnc/vnc.h"
+
+namespace slim {
+namespace {
+
+class VncFixture : public ::testing::Test {
+ protected:
+  VncFixture() : fabric_(&sim_, {}), server_(&sim_, &fabric_, ServerOptions{}) {
+    session_ = &server_.CreateSession(server_.auth().IssueCard(1));
+  }
+
+  Simulator sim_;
+  Fabric fabric_;
+  SlimServer server_;
+  ServerSession* session_ = nullptr;
+};
+
+TEST_F(VncFixture, ViewerConvergesToSource) {
+  Rng rng(3);
+  session_->FillRect(session_->framebuffer().bounds(), UiBackground());
+  session_->PutImage(Rect{100, 100, 200, 150}, MakePhotoBlock(&rng, 200, 150));
+  session_->Flush();  // no console attached: drawing only mutates server truth
+
+  VncViewerSystem vnc(&sim_, &fabric_, session_, VncOptions{});
+  vnc.Start();
+  sim_.RunUntil(Seconds(1));
+  vnc.Stop();
+  sim_.Run();
+  EXPECT_TRUE(vnc.InSync());
+  EXPECT_GT(vnc.updates(), 0);
+}
+
+TEST_F(VncFixture, IdleScreenStillCostsDeltaScans) {
+  // The paper's criticism: the pull model scans even when nothing changed.
+  VncViewerSystem vnc(&sim_, &fabric_, session_, VncOptions{});
+  vnc.Start();
+  sim_.RunUntil(Seconds(2));
+  vnc.Stop();
+  sim_.Run();
+  EXPECT_GT(vnc.updates(), 30);  // ~40 polls at 50 ms
+  EXPECT_GT(vnc.diff_cpu_time(), Milliseconds(50));
+  // But nothing changed, so almost nothing was sent (just update-complete markers).
+  EXPECT_LT(vnc.bytes_sent(), 1000);
+}
+
+TEST_F(VncFixture, TracksOngoingChanges) {
+  VncViewerSystem vnc(&sim_, &fabric_, session_, VncOptions{});
+  vnc.Start();
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    sim_.RunUntil(sim_.now() + Milliseconds(200));
+    session_->FillRect(Rect{i * 40, i * 30, 120, 90},
+                       static_cast<Pixel>(rng.NextU64() & 0xffffff));
+    session_->Flush();
+  }
+  sim_.RunUntil(sim_.now() + Milliseconds(500));
+  vnc.Stop();
+  sim_.Run();
+  EXPECT_TRUE(vnc.InSync());
+  EXPECT_GT(vnc.bytes_sent(), 0);
+}
+
+TEST_F(VncFixture, UpdateLatencyBoundedByPollInterval) {
+  VncOptions options;
+  options.poll_interval = Milliseconds(40);
+  VncViewerSystem vnc(&sim_, &fabric_, session_, options);
+  vnc.Start();
+  sim_.RunUntil(Seconds(1));
+  const SimTime drawn_at = sim_.now();
+  session_->FillRect(Rect{10, 10, 50, 50}, kWhite);
+  session_->Flush();
+  // Step until the viewer first shows the change.
+  while (!vnc.InSync() && sim_.Step()) {
+  }
+  const SimDuration refresh = sim_.now() - drawn_at;
+  vnc.Stop();
+  sim_.Run();
+  EXPECT_TRUE(vnc.InSync());
+  // One poll interval + scan + transfer bounds the refresh, and pull can never be instant.
+  EXPECT_LE(refresh, Milliseconds(100));
+  EXPECT_GT(refresh, Milliseconds(1));
+}
+
+}  // namespace
+}  // namespace slim

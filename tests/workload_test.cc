@@ -1,0 +1,159 @@
+// Tests for the user behaviour models and the end-to-end user-study harness, including the
+// paper's empirical regimes from Figure 2.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/util/stats.h"
+#include "src/workload/user_model.h"
+#include "src/workload/user_study.h"
+
+namespace slim {
+namespace {
+
+// Figure 2's regimes must hold for every application model.
+class UserModelRegimes : public ::testing::TestWithParam<int> {};
+
+TEST_P(UserModelRegimes, InputFrequenciesMatchPaper) {
+  const auto kind = static_cast<AppKind>(GetParam());
+  UserModel model(kind, Rng(42));
+  std::vector<double> frequencies;
+  for (int i = 0; i < 20000; ++i) {
+    const auto event = model.Next();
+    if (event.delay > 0) {
+      frequencies.push_back(1.0 / ToSeconds(event.delay));
+    }
+  }
+  const double above_28 =
+      static_cast<double>(std::count_if(frequencies.begin(), frequencies.end(),
+                                        [](double f) { return f > 28.0; })) /
+      static_cast<double>(frequencies.size());
+  const double below_10 =
+      static_cast<double>(std::count_if(frequencies.begin(), frequencies.end(),
+                                        [](double f) { return f < 10.0; })) /
+      static_cast<double>(frequencies.size());
+  EXPECT_LT(above_28, 0.01) << "fewer than 1% of events above 28 Hz (Figure 2)";
+  EXPECT_GT(below_10, 0.55) << "most events below 10 Hz (Figure 2)";
+  EXPECT_LT(below_10, 0.97);
+}
+
+TEST_P(UserModelRegimes, DelaysArePositive) {
+  const auto kind = static_cast<AppKind>(GetParam());
+  UserModel model(kind, Rng(1));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(model.Next().delay, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, UserModelRegimes, ::testing::Range(0, kAppKindCount),
+                         [](const auto& info) {
+                           return std::string(AppKindName(static_cast<AppKind>(info.param)));
+                         });
+
+TEST(UserModelTest, ReadingAppsPauseLongerThanTypingApps) {
+  // Netscape/Photoshop show substantially more >1 s gaps than FrameMaker/PIM (Figure 2).
+  auto gap_fraction = [](AppKind kind) {
+    UserModel model(kind, Rng(7));
+    int long_gaps = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      if (model.Next().delay > Seconds(1)) {
+        ++long_gaps;
+      }
+    }
+    return static_cast<double>(long_gaps) / n;
+  };
+  EXPECT_GT(gap_fraction(AppKind::kNetscape), 3 * gap_fraction(AppKind::kFrameMaker));
+  EXPECT_GT(gap_fraction(AppKind::kPhotoshop), 3 * gap_fraction(AppKind::kPim));
+}
+
+TEST(UserModelTest, DeterministicPerSeed) {
+  UserModel a(AppKind::kNetscape, Rng(9));
+  UserModel b(AppKind::kNetscape, Rng(9));
+  for (int i = 0; i < 200; ++i) {
+    const auto ea = a.Next();
+    const auto eb = b.Next();
+    EXPECT_EQ(ea.delay, eb.delay);
+    EXPECT_EQ(ea.is_key, eb.is_key);
+    EXPECT_EQ(ea.keycode, eb.keycode);
+  }
+}
+
+TEST(UserStudyTest, SessionProducesConsistentLogs) {
+  UserSessionConfig config;
+  config.kind = AppKind::kPim;
+  config.seed = 3;
+  config.duration = Seconds(30);
+  const UserSessionResult result = RunUserSession(config);
+  EXPECT_TRUE(result.framebuffers_match);
+  EXPECT_EQ(result.commands_dropped, 0);
+  EXPECT_GT(result.input_events_sent, 0);
+  // Every sent input is recorded by the instrumented server.
+  EXPECT_EQ(result.log.input_events(), result.input_events_sent);
+  EXPECT_GT(result.commands_applied, 0);
+}
+
+TEST(UserStudyTest, StudyRunsMultipleIndependentUsers) {
+  const auto results = RunUserStudy(AppKind::kFrameMaker, 3, Seconds(20), 77);
+  ASSERT_EQ(results.size(), 3u);
+  // Different seeds produce different activity.
+  EXPECT_NE(results[0].input_events_sent, results[1].input_events_sent);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.framebuffers_match);
+  }
+}
+
+TEST(UserStudyTest, SameSeedReproducesExactly) {
+  UserSessionConfig config;
+  config.kind = AppKind::kNetscape;
+  config.seed = 11;
+  config.duration = Seconds(20);
+  const auto a = RunUserSession(config);
+  const auto b = RunUserSession(config);
+  EXPECT_EQ(a.input_events_sent, b.input_events_sent);
+  EXPECT_EQ(a.commands_applied, b.commands_applied);
+  ASSERT_EQ(a.log.entries().size(), b.log.entries().size());
+  EXPECT_EQ(a.log.AverageSlimBps(), b.log.AverageSlimBps());
+}
+
+TEST(UserStudyTest, ImageAppsUseMoreBandwidthThanTextApps) {
+  // Figure 8's headline shape, checked end to end on short sessions.
+  auto bandwidth = [](AppKind kind) {
+    double total = 0;
+    const auto results = RunUserStudy(kind, 3, Seconds(60), 1001);
+    for (const auto& r : results) {
+      total += r.log.AverageSlimBps();
+    }
+    return total / 3;
+  };
+  const double photoshop = bandwidth(AppKind::kPhotoshop);
+  const double pim = bandwidth(AppKind::kPim);
+  EXPECT_GT(photoshop, 3 * pim);
+}
+
+TEST(UpdateServiceTimesTest, GroupsByArrivalGaps) {
+  std::vector<ServiceRecord> log;
+  auto record = [&](SimTime arrival, SimTime completion) {
+    ServiceRecord r;
+    r.arrival = arrival;
+    r.start = arrival;
+    r.completion = completion;
+    log.push_back(r);
+  };
+  // Two commands 0.5 ms apart (one update), then a 10 ms gap, then another update.
+  record(0, Milliseconds(1));
+  record(Microseconds(500), Milliseconds(3));
+  record(Milliseconds(13), Milliseconds(14));
+  const auto times = UpdateServiceTimesMs(log, Milliseconds(2));
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_NEAR(times[0], 3.0, 1e-9);
+  EXPECT_NEAR(times[1], 1.0, 1e-9);
+}
+
+TEST(UpdateServiceTimesTest, EmptyLogEmptyResult) {
+  EXPECT_TRUE(UpdateServiceTimesMs({}).empty());
+}
+
+}  // namespace
+}  // namespace slim
