@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_encoder.dir/bench/bench_ablation_encoder.cc.o"
+  "CMakeFiles/bench_ablation_encoder.dir/bench/bench_ablation_encoder.cc.o.d"
+  "bench/bench_ablation_encoder"
+  "bench/bench_ablation_encoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_if_sharing.dir/bench/bench_fig11_if_sharing.cc.o"
+  "CMakeFiles/bench_fig11_if_sharing.dir/bench/bench_fig11_if_sharing.cc.o.d"
+  "bench/bench_fig11_if_sharing"
+  "bench/bench_fig11_if_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_if_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_input_rates.dir/bench/bench_fig2_input_rates.cc.o"
+  "CMakeFiles/bench_fig2_input_rates.dir/bench/bench_fig2_input_rates.cc.o.d"
+  "bench/bench_fig2_input_rates"
+  "bench/bench_fig2_input_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_input_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_pixel_updates.dir/bench/bench_fig3_pixel_updates.cc.o"
+  "CMakeFiles/bench_fig3_pixel_updates.dir/bench/bench_fig3_pixel_updates.cc.o.d"
+  "bench/bench_fig3_pixel_updates"
+  "bench/bench_fig3_pixel_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_pixel_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_compression.dir/bench/bench_fig4_compression.cc.o"
+  "CMakeFiles/bench_fig4_compression.dir/bench/bench_fig4_compression.cc.o.d"
+  "bench/bench_fig4_compression"
+  "bench/bench_fig4_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

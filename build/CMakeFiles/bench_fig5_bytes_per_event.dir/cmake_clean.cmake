@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_bytes_per_event.dir/bench/bench_fig5_bytes_per_event.cc.o"
+  "CMakeFiles/bench_fig5_bytes_per_event.dir/bench/bench_fig5_bytes_per_event.cc.o.d"
+  "bench/bench_fig5_bytes_per_event"
+  "bench/bench_fig5_bytes_per_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_bytes_per_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_service_times.dir/bench/bench_fig7_service_times.cc.o"
+  "CMakeFiles/bench_fig7_service_times.dir/bench/bench_fig7_service_times.cc.o.d"
+  "bench/bench_fig7_service_times"
+  "bench/bench_fig7_service_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_service_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

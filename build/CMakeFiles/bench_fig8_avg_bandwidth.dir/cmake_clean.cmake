@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_avg_bandwidth.dir/bench/bench_fig8_avg_bandwidth.cc.o"
+  "CMakeFiles/bench_fig8_avg_bandwidth.dir/bench/bench_fig8_avg_bandwidth.cc.o.d"
+  "bench/bench_fig8_avg_bandwidth"
+  "bench/bench_fig8_avg_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_avg_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_related_vnc.dir/bench/bench_related_vnc.cc.o"
+  "CMakeFiles/bench_related_vnc.dir/bench/bench_related_vnc.cc.o.d"
+  "bench/bench_related_vnc"
+  "bench/bench_related_vnc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_vnc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_related_vnc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_multimedia.dir/bench/bench_sec7_multimedia.cc.o"
+  "CMakeFiles/bench_sec7_multimedia.dir/bench/bench_sec7_multimedia.cc.o.d"
+  "bench/bench_sec7_multimedia"
+  "bench/bench_sec7_multimedia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_multimedia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_standalone.dir/bench/bench_table4_standalone.cc.o"
+  "CMakeFiles/bench_table4_standalone.dir/bench/bench_table4_standalone.cc.o.d"
+  "bench/bench_table4_standalone"
+  "bench/bench_table4_standalone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_standalone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_console_costs.dir/bench/bench_table5_console_costs.cc.o"
+  "CMakeFiles/bench_table5_console_costs.dir/bench/bench_table5_console_costs.cc.o.d"
+  "bench/bench_table5_console_costs"
+  "bench/bench_table5_console_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_console_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

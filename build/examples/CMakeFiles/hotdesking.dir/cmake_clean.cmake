@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotdesking.dir/hotdesking.cpp.o"
+  "CMakeFiles/hotdesking.dir/hotdesking.cpp.o.d"
+  "hotdesking"
+  "hotdesking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotdesking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hotdesking.
+# This may be replaced when dependencies are built.

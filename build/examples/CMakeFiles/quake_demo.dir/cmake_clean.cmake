@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quake_demo.dir/quake_demo.cpp.o"
+  "CMakeFiles/quake_demo.dir/quake_demo.cpp.o.d"
+  "quake_demo"
+  "quake_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quake_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

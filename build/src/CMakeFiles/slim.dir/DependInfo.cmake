@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/benchmark_apps.cc" "src/CMakeFiles/slim.dir/apps/benchmark_apps.cc.o" "gcc" "src/CMakeFiles/slim.dir/apps/benchmark_apps.cc.o.d"
+  "/root/repo/src/apps/content.cc" "src/CMakeFiles/slim.dir/apps/content.cc.o" "gcc" "src/CMakeFiles/slim.dir/apps/content.cc.o.d"
+  "/root/repo/src/apps/font.cc" "src/CMakeFiles/slim.dir/apps/font.cc.o" "gcc" "src/CMakeFiles/slim.dir/apps/font.cc.o.d"
+  "/root/repo/src/codec/decoder.cc" "src/CMakeFiles/slim.dir/codec/decoder.cc.o" "gcc" "src/CMakeFiles/slim.dir/codec/decoder.cc.o.d"
+  "/root/repo/src/codec/encoder.cc" "src/CMakeFiles/slim.dir/codec/encoder.cc.o" "gcc" "src/CMakeFiles/slim.dir/codec/encoder.cc.o.d"
+  "/root/repo/src/color/yuv.cc" "src/CMakeFiles/slim.dir/color/yuv.cc.o" "gcc" "src/CMakeFiles/slim.dir/color/yuv.cc.o.d"
+  "/root/repo/src/console/bandwidth.cc" "src/CMakeFiles/slim.dir/console/bandwidth.cc.o" "gcc" "src/CMakeFiles/slim.dir/console/bandwidth.cc.o.d"
+  "/root/repo/src/console/console.cc" "src/CMakeFiles/slim.dir/console/console.cc.o" "gcc" "src/CMakeFiles/slim.dir/console/console.cc.o.d"
+  "/root/repo/src/console/cost_model.cc" "src/CMakeFiles/slim.dir/console/cost_model.cc.o" "gcc" "src/CMakeFiles/slim.dir/console/cost_model.cc.o.d"
+  "/root/repo/src/fb/framebuffer.cc" "src/CMakeFiles/slim.dir/fb/framebuffer.cc.o" "gcc" "src/CMakeFiles/slim.dir/fb/framebuffer.cc.o.d"
+  "/root/repo/src/fb/geometry.cc" "src/CMakeFiles/slim.dir/fb/geometry.cc.o" "gcc" "src/CMakeFiles/slim.dir/fb/geometry.cc.o.d"
+  "/root/repo/src/loadgen/loadgen.cc" "src/CMakeFiles/slim.dir/loadgen/loadgen.cc.o" "gcc" "src/CMakeFiles/slim.dir/loadgen/loadgen.cc.o.d"
+  "/root/repo/src/loadgen/profile.cc" "src/CMakeFiles/slim.dir/loadgen/profile.cc.o" "gcc" "src/CMakeFiles/slim.dir/loadgen/profile.cc.o.d"
+  "/root/repo/src/net/fabric.cc" "src/CMakeFiles/slim.dir/net/fabric.cc.o" "gcc" "src/CMakeFiles/slim.dir/net/fabric.cc.o.d"
+  "/root/repo/src/net/transport.cc" "src/CMakeFiles/slim.dir/net/transport.cc.o" "gcc" "src/CMakeFiles/slim.dir/net/transport.cc.o.d"
+  "/root/repo/src/protocol/commands.cc" "src/CMakeFiles/slim.dir/protocol/commands.cc.o" "gcc" "src/CMakeFiles/slim.dir/protocol/commands.cc.o.d"
+  "/root/repo/src/protocol/messages.cc" "src/CMakeFiles/slim.dir/protocol/messages.cc.o" "gcc" "src/CMakeFiles/slim.dir/protocol/messages.cc.o.d"
+  "/root/repo/src/protocol/wire.cc" "src/CMakeFiles/slim.dir/protocol/wire.cc.o" "gcc" "src/CMakeFiles/slim.dir/protocol/wire.cc.o.d"
+  "/root/repo/src/quake/raycaster.cc" "src/CMakeFiles/slim.dir/quake/raycaster.cc.o" "gcc" "src/CMakeFiles/slim.dir/quake/raycaster.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/CMakeFiles/slim.dir/sched/scheduler.cc.o" "gcc" "src/CMakeFiles/slim.dir/sched/scheduler.cc.o.d"
+  "/root/repo/src/server/session.cc" "src/CMakeFiles/slim.dir/server/session.cc.o" "gcc" "src/CMakeFiles/slim.dir/server/session.cc.o.d"
+  "/root/repo/src/server/slim_server.cc" "src/CMakeFiles/slim.dir/server/slim_server.cc.o" "gcc" "src/CMakeFiles/slim.dir/server/slim_server.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/slim.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/slim.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/trace/protocol_log.cc" "src/CMakeFiles/slim.dir/trace/protocol_log.cc.o" "gcc" "src/CMakeFiles/slim.dir/trace/protocol_log.cc.o.d"
+  "/root/repo/src/trace/trace_file.cc" "src/CMakeFiles/slim.dir/trace/trace_file.cc.o" "gcc" "src/CMakeFiles/slim.dir/trace/trace_file.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/slim.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/slim.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/slim.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/slim.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/slim.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/slim.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/slim.dir/util/table.cc.o" "gcc" "src/CMakeFiles/slim.dir/util/table.cc.o.d"
+  "/root/repo/src/video/pipeline.cc" "src/CMakeFiles/slim.dir/video/pipeline.cc.o" "gcc" "src/CMakeFiles/slim.dir/video/pipeline.cc.o.d"
+  "/root/repo/src/video/video_source.cc" "src/CMakeFiles/slim.dir/video/video_source.cc.o" "gcc" "src/CMakeFiles/slim.dir/video/video_source.cc.o.d"
+  "/root/repo/src/vnc/vnc.cc" "src/CMakeFiles/slim.dir/vnc/vnc.cc.o" "gcc" "src/CMakeFiles/slim.dir/vnc/vnc.cc.o.d"
+  "/root/repo/src/workload/user_model.cc" "src/CMakeFiles/slim.dir/workload/user_model.cc.o" "gcc" "src/CMakeFiles/slim.dir/workload/user_model.cc.o.d"
+  "/root/repo/src/workload/user_study.cc" "src/CMakeFiles/slim.dir/workload/user_study.cc.o" "gcc" "src/CMakeFiles/slim.dir/workload/user_study.cc.o.d"
+  "/root/repo/src/xproto/xcost.cc" "src/CMakeFiles/slim.dir/xproto/xcost.cc.o" "gcc" "src/CMakeFiles/slim.dir/xproto/xcost.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/color_test.dir/color_test.cc.o"
+  "CMakeFiles/color_test.dir/color_test.cc.o.d"
+  "color_test"
+  "color_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/color_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/console_test.dir/console_test.cc.o"
+  "CMakeFiles/console_test.dir/console_test.cc.o.d"
+  "console_test"
+  "console_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/console_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fb_test.dir/fb_test.cc.o"
+  "CMakeFiles/fb_test.dir/fb_test.cc.o.d"
+  "fb_test"
+  "fb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

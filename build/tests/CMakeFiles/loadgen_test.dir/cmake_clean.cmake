@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loadgen_test.dir/loadgen_test.cc.o"
+  "CMakeFiles/loadgen_test.dir/loadgen_test.cc.o.d"
+  "loadgen_test"
+  "loadgen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loadgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

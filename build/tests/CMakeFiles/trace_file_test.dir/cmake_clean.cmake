@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_file_test.dir/trace_file_test.cc.o"
+  "CMakeFiles/trace_file_test.dir/trace_file_test.cc.o.d"
+  "trace_file_test"
+  "trace_file_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnc_test.dir/vnc_test.cc.o"
+  "CMakeFiles/vnc_test.dir/vnc_test.cc.o.d"
+  "vnc_test"
+  "vnc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
