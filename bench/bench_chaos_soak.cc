@@ -1,0 +1,128 @@
+// Chaos soak harness: one interactive session per fault profile, from a healthy fabric up
+// to a seriously sick one, reporting what the chaos layer injected, what the transport's
+// recovery machinery did about it, and whether the console converged pixel-identically.
+//
+// Not a paper figure — this exercises the failure model behind Section 2.2's claim that
+// SLIM needs no reliable transport: every fault class must be repaired by NACK replay plus
+// idempotent reapplication, at a bounded overhead in repaint rounds and replayed bytes.
+//
+//   SLIM_SOAK_EVENTS  input events per profile (default 300)
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/benchmark_apps.h"
+#include "src/console/console.h"
+#include "src/net/fabric.h"
+#include "src/server/slim_server.h"
+#include "src/sim/simulator.h"
+#include "src/util/table.h"
+
+namespace {
+
+struct ProfileRow {
+  const char* name;
+  slim::FaultProfile profile;
+};
+
+}  // namespace
+
+int main() {
+  using namespace slim;
+  PrintHeader("Chaos soak - session recovery under fabric fault injection",
+              "Schmidt et al., SOSP'99, Section 2.2 (error recovery)");
+
+  const int events = EnvInt("SLIM_SOAK_EVENTS", 300);
+  std::vector<ProfileRow> rows;
+  rows.push_back({"healthy", {}});
+  {
+    FaultProfile p;
+    p.loss = 0.02;
+    rows.push_back({"lossy-2%", p});
+  }
+  {
+    FaultProfile p;
+    p.loss = 0.05;
+    p.duplicate = 0.02;
+    p.delay_jitter = Milliseconds(2);
+    rows.push_back({"lossy+dup+jitter", p});
+  }
+  {
+    FaultProfile p;
+    p.loss = 0.05;
+    p.duplicate = 0.02;
+    p.corrupt = 0.02;
+    p.truncate = 0.01;
+    p.delay_jitter = Milliseconds(2);
+    rows.push_back({"hostile", p});
+  }
+  {
+    FaultProfile p;
+    p.loss = 0.10;
+    p.duplicate = 0.05;
+    p.corrupt = 0.05;
+    p.truncate = 0.02;
+    p.delay_jitter = Milliseconds(5);
+    rows.push_back({"very-sick", p});
+  }
+
+  TextTable table({"profile", "dropped", "dup", "corrupt", "trunc", "nacks", "replays",
+                   "cksum-rejects", "heal-rounds", "converged"});
+  for (const ProfileRow& row : rows) {
+    Simulator sim;
+    Fabric fabric(&sim, {});
+    SlimServer server(&sim, &fabric, {});
+    Console console(&sim, &fabric, {});
+    const uint64_t card = server.auth().IssueCard(1);
+    ServerSession& session = server.CreateSession(card);
+    auto app = MakeApplication(AppKind::kPim, &session, 1234);
+    app->BindInput();
+    if (row.profile.active()) {
+      fabric.InjectFaults(server.node(), console.node(), row.profile);
+      fabric.InjectFaults(console.node(), server.node(), row.profile);
+    }
+    console.InsertCard(server.node(), card);
+    sim.Run();
+    app->Start();
+    sim.Run();
+    Rng rng(55);
+    for (int i = 0; i < events; ++i) {
+      if (rng.NextBool(0.8)) {
+        console.SendKey(server.node(), session.id(),
+                        static_cast<uint32_t>(rng.NextBelow(997)), true);
+      } else {
+        console.SendMouse(server.node(), session.id(),
+                          static_cast<int32_t>(rng.NextBelow(1280)),
+                          static_cast<int32_t>(rng.NextBelow(1024)), 1, false);
+      }
+      sim.RunUntil(sim.now() + Milliseconds(25));
+    }
+    sim.Run();
+    int heal_rounds = 0;
+    bool converged =
+        session.framebuffer().ContentHash() == console.framebuffer().ContentHash();
+    while (!converged && heal_rounds < 30) {
+      ++heal_rounds;
+      session.RepaintAll();
+      session.Flush();
+      sim.Run();
+      converged =
+          session.framebuffer().ContentHash() == console.framebuffer().ContentHash();
+    }
+    const FaultStats& f = fabric.fault_stats();
+    const EndpointStats& cs = console.endpoint().stats();
+    const EndpointStats& ss = server.endpoint().stats();
+    table.AddRow(
+        {row.name, Format("%lld", static_cast<long long>(f.datagrams_dropped)),
+         Format("%lld", static_cast<long long>(f.datagrams_duplicated)),
+         Format("%lld", static_cast<long long>(f.datagrams_corrupted)),
+         Format("%lld", static_cast<long long>(f.datagrams_truncated)),
+         Format("%lld", static_cast<long long>(cs.nacks_sent + ss.nacks_sent)),
+         Format("%lld", static_cast<long long>(cs.replays_sent + ss.replays_sent)),
+         Format("%lld", static_cast<long long>(cs.datagrams_corrupted +
+                                               ss.datagrams_corrupted)),
+         Format("%d", heal_rounds), converged ? "yes" : "NO"});
+  }
+  std::printf("%s", table.Render().c_str());
+  return 0;
+}

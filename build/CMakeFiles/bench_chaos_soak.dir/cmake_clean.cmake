@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chaos_soak.dir/bench/bench_chaos_soak.cc.o"
+  "CMakeFiles/bench_chaos_soak.dir/bench/bench_chaos_soak.cc.o.d"
+  "bench/bench_chaos_soak"
+  "bench/bench_chaos_soak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chaos_soak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

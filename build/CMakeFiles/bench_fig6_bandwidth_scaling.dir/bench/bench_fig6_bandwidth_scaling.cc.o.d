@@ -220,17 +220,18 @@ CMakeFiles/bench_fig6_bandwidth_scaling.dir/bench/bench_fig6_bandwidth_scaling.c
  /root/repo/src/fb/framebuffer.h /root/repo/src/fb/geometry.h \
  /root/repo/src/protocol/commands.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/color/yuv.h \
- /root/repo/src/net/fabric.h /root/repo/src/sim/simulator.h \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/time.h \
- /root/repo/src/util/rng.h /root/repo/src/protocol/messages.h \
- /usr/include/c++/12/optional /root/repo/src/server/cpu_model.h \
- /root/repo/src/trace/protocol_log.h /root/repo/src/console/console.h \
- /root/repo/src/console/bandwidth.h /usr/include/c++/12/map \
+ /root/repo/src/net/fabric.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/console/cost_model.h /root/repo/src/net/transport.h \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/sim/simulator.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/util/time.h /root/repo/src/util/rng.h \
+ /root/repo/src/protocol/messages.h /root/repo/src/server/cpu_model.h \
+ /root/repo/src/trace/protocol_log.h /root/repo/src/console/console.h \
+ /root/repo/src/console/bandwidth.h /root/repo/src/console/cost_model.h \
+ /root/repo/src/net/transport.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/util/histogram.h \
  /root/repo/src/util/table.h

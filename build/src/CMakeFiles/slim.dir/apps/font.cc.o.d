@@ -140,7 +140,9 @@ src/CMakeFiles/slim.dir/apps/font.cc.o: /root/repo/src/apps/font.cc \
  /root/repo/src/fb/framebuffer.h /root/repo/src/fb/geometry.h \
  /root/repo/src/protocol/commands.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/color/yuv.h \
- /root/repo/src/net/fabric.h /usr/include/c++/12/memory \
+ /root/repo/src/net/fabric.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -212,10 +214,11 @@ src/CMakeFiles/slim.dir/apps/font.cc.o: /root/repo/src/apps/font.cc \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/simulator.h \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/time.h \
- /root/repo/src/util/rng.h /root/repo/src/protocol/messages.h \
- /usr/include/c++/12/optional /root/repo/src/server/cpu_model.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/sim/simulator.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/util/time.h /root/repo/src/util/rng.h \
+ /root/repo/src/protocol/messages.h /root/repo/src/server/cpu_model.h \
  /root/repo/src/trace/protocol_log.h /root/repo/src/util/check.h

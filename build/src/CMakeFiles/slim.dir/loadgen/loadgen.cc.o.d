@@ -215,14 +215,18 @@ src/CMakeFiles/slim.dir/loadgen/loadgen.cc.o: \
  /root/repo/src/fb/geometry.h /root/repo/src/protocol/commands.h \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/color/yuv.h /root/repo/src/net/fabric.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/sim/simulator.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/util/time.h /root/repo/src/util/rng.h \
- /root/repo/src/protocol/messages.h /usr/include/c++/12/optional \
- /root/repo/src/server/cpu_model.h /root/repo/src/trace/protocol_log.h \
- /root/repo/src/sched/scheduler.h /root/repo/src/util/stats.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/protocol/messages.h /root/repo/src/server/cpu_model.h \
+ /root/repo/src/trace/protocol_log.h /root/repo/src/sched/scheduler.h \
+ /root/repo/src/util/stats.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \

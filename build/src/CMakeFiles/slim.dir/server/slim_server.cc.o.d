@@ -210,18 +210,18 @@ src/CMakeFiles/slim.dir/server/slim_server.cc.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/sim/simulator.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/util/time.h /root/repo/src/util/rng.h \
- /root/repo/src/net/transport.h /usr/include/c++/12/optional \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h \
- /root/repo/src/protocol/messages.h /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/net/transport.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/protocol/messages.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/protocol/commands.h /root/repo/src/color/yuv.h \
- /usr/include/c++/12/span /usr/include/c++/12/cstddef \
  /root/repo/src/fb/framebuffer.h /root/repo/src/fb/geometry.h \
  /root/repo/src/server/cpu_model.h /root/repo/src/server/session.h \
  /root/repo/src/codec/encoder.h /root/repo/src/trace/protocol_log.h \

@@ -221,7 +221,8 @@ src/CMakeFiles/slim.dir/trace/trace_file.cc.o: \
  /root/repo/src/color/yuv.h /usr/include/c++/12/span \
  /usr/include/c++/12/cstddef /root/repo/src/fb/framebuffer.h \
  /root/repo/src/fb/geometry.h /root/repo/src/util/time.h \
- /root/repo/src/net/fabric.h /root/repo/src/sim/simulator.h \
+ /root/repo/src/net/fabric.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/simulator.h \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/rng.h \

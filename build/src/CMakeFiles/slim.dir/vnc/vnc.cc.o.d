@@ -217,6 +217,7 @@ src/CMakeFiles/slim.dir/vnc/vnc.cc.o: /root/repo/src/vnc/vnc.cc \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/net/fabric.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/sim/simulator.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/time.h \
  /root/repo/src/util/rng.h /root/repo/src/protocol/messages.h \

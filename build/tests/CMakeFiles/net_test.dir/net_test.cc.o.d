@@ -298,6 +298,7 @@ tests/CMakeFiles/net_test.dir/net_test.cc.o: /root/repo/tests/net_test.cc \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/time.h \
  /root/repo/src/util/rng.h /root/repo/src/net/transport.h \
- /root/repo/src/protocol/messages.h /root/repo/src/protocol/commands.h \
- /root/repo/src/color/yuv.h /usr/include/c++/12/span \
- /root/repo/src/fb/framebuffer.h /root/repo/src/fb/geometry.h
+ /usr/include/c++/12/span /root/repo/src/protocol/messages.h \
+ /root/repo/src/protocol/commands.h /root/repo/src/color/yuv.h \
+ /root/repo/src/fb/framebuffer.h /root/repo/src/fb/geometry.h \
+ /root/repo/src/protocol/wire.h

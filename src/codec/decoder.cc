@@ -38,6 +38,15 @@ bool ApplyCommand(const DisplayCommand& cmd, Framebuffer* fb) {
   if (fb == nullptr || !ValidateCommand(cmd)) {
     return false;
   }
+  if (const auto* copy = std::get_if<CopyCommand>(&cmd)) {
+    // ValidateCommand is framebuffer-agnostic, so the source rect can only be checked here:
+    // a corrupted or malicious COPY must not read outside the framebuffer (the real
+    // hardware's blitter would happily scoop up whatever memory sits past the edge).
+    const Rect src{copy->src_x, copy->src_y, copy->dst.w, copy->dst.h};
+    if (!fb->bounds().ContainsRect(src)) {
+      return false;
+    }
+  }
   std::visit(
       [fb](const auto& c) {
         using T = std::decay_t<decltype(c)>;

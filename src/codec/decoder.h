@@ -9,9 +9,10 @@
 namespace slim {
 
 // Applies one display command to a framebuffer. Returns false (leaving the framebuffer
-// untouched) when the command is malformed: payload size does not match its rectangle, or
-// the rectangle is empty/negative. Valid commands whose destination partially exits the
-// framebuffer are clipped, matching the hardware's behaviour.
+// untouched) when the command is malformed: payload size does not match its rectangle, the
+// rectangle is empty/negative, or a COPY's source rect reads outside the framebuffer.
+// Valid commands whose destination partially exits the framebuffer are clipped, matching
+// the hardware's behaviour.
 [[nodiscard]] bool ApplyCommand(const DisplayCommand& cmd, Framebuffer* fb);
 
 // Validation only (used by the transport layer before queueing work on the console).

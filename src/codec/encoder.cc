@@ -8,10 +8,13 @@ namespace slim {
 
 namespace {
 
-// Classification of a rectangle's pixel population.
+// Classification of a rectangle's pixel population. `first` and `second` are the first two
+// distinct colors encountered in scan order (not the most common ones); for the bicolor
+// regions BITMAP targets the two sets coincide, and for anything richer the scan bails out
+// at distinct == 3 anyway.
 struct ColorScan {
   int distinct = 0;  // 0, 1, 2, or 3 meaning ">2"
-  Pixel first = 0;   // most common of the (up to) two colors seen first
+  Pixel first = 0;
   Pixel second = 0;
 };
 
@@ -148,15 +151,22 @@ void Encoder::EncodeBand(const Framebuffer& fb, const Rect& band,
 
 void Encoder::EmitSet(const Framebuffer& fb, const Rect& rect,
                       std::vector<DisplayCommand>* out) const {
-  // Split tall SETs so one command never exceeds max_set_pixels.
-  const int32_t max_rows = std::max<int32_t>(
-      1, static_cast<int32_t>(options_.max_set_pixels / std::max(rect.w, 1)));
-  for (int32_t y = rect.y; y < rect.bottom(); y += max_rows) {
-    const int32_t h = std::min(max_rows, rect.bottom() - y);
-    const Rect part{rect.x, y, rect.w, h};
-    std::vector<Pixel> pixels;
-    fb.ReadPixels(part, &pixels);
-    out->push_back(SetCommand{part, PackRgb(pixels)});
+  // Split wide and tall SETs so one command never exceeds max_set_pixels. Chunk merging in
+  // EncodeBand can hand us a run wider than max_set_pixels, so a row-only split is not
+  // enough: a single row of such a run would still bust the cap.
+  const int32_t max_cols = static_cast<int32_t>(
+      std::min<int64_t>(std::max(rect.w, 1), options_.max_set_pixels));
+  for (int32_t x = rect.x; x < rect.right(); x += max_cols) {
+    const int32_t w = std::min(max_cols, rect.right() - x);
+    const int32_t max_rows =
+        std::max<int32_t>(1, static_cast<int32_t>(options_.max_set_pixels / w));
+    for (int32_t y = rect.y; y < rect.bottom(); y += max_rows) {
+      const int32_t h = std::min(max_rows, rect.bottom() - y);
+      const Rect part{x, y, w, h};
+      std::vector<Pixel> pixels;
+      fb.ReadPixels(part, &pixels);
+      out->push_back(SetCommand{part, PackRgb(pixels)});
+    }
   }
 }
 

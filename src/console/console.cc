@@ -102,10 +102,13 @@ void Console::ProcessDisplayCommand(const Message& msg, const DisplayCommand& cm
   busy_time_ += cost;
 
   sim_->ScheduleAt(record.completion, [this, cmd, record]() {
-    const bool ok = ApplyCommand(cmd, &fb_);
-    SLIM_DCHECK(ok);
-    (void)ok;
     queued_bytes_ -= static_cast<int64_t>(record.wire_bytes);
+    if (!ApplyCommand(cmd, &fb_)) {
+      // ValidateCommand is framebuffer-agnostic, so a COPY whose source rect exits the
+      // framebuffer (corruption, malice) is only caught here; reject, don't apply.
+      ++commands_rejected_;
+      return;
+    }
     ++commands_applied_;
     if (options_.record_service_log) {
       service_log_.push_back(record);

@@ -83,12 +83,99 @@ void Fabric::SetReceiver(NodeId node, ReceiveFn fn) {
   ports_[node]->receive = std::move(fn);
 }
 
+void Fabric::InjectFaults(const FaultProfile& profile) {
+  if (profile.active()) {
+    default_faults_ = profile;
+  } else {
+    default_faults_.reset();
+  }
+}
+
+void Fabric::InjectFaults(NodeId src, NodeId dst, const FaultProfile& profile) {
+  pair_faults_[{src, dst}] = profile;
+}
+
+void Fabric::ClearFaults(NodeId src, NodeId dst) { pair_faults_.erase({src, dst}); }
+
+void Fabric::ClearFaults() {
+  default_faults_.reset();
+  pair_faults_.clear();
+}
+
+const FaultProfile* Fabric::ProfileFor(NodeId src, NodeId dst) const {
+  const auto it = pair_faults_.find({src, dst});
+  if (it != pair_faults_.end()) {
+    return it->second.active() ? &it->second : nullptr;
+  }
+  return default_faults_.has_value() ? &*default_faults_ : nullptr;
+}
+
+Rng& Fabric::FaultRngFor(NodeId src, NodeId dst) {
+  const auto key = std::make_pair(src, dst);
+  auto it = fault_rngs_.find(key);
+  if (it == fault_rngs_.end()) {
+    // Seeded purely from (fault_seed, src, dst): the schedule on one path does not depend
+    // on which paths saw traffic first, keeping whole-fabric runs reproducible.
+    it = fault_rngs_.emplace(key, Rng(Rng::MixSeed(options_.fault_seed, src, dst))).first;
+  }
+  return it->second;
+}
+
+void Fabric::SendWithFaults(Datagram dgram, const FaultProfile& profile) {
+  Rng& rng = FaultRngFor(dgram.src, dgram.dst);
+  if (profile.loss > 0.0 && rng.NextBool(profile.loss)) {
+    ++fault_stats_.datagrams_dropped;
+    return;
+  }
+  if (profile.truncate > 0.0 && dgram.payload.size() > 1 && rng.NextBool(profile.truncate)) {
+    dgram.payload.resize(1 + rng.NextBelow(dgram.payload.size() - 1));
+    ++fault_stats_.datagrams_truncated;
+  }
+  if (profile.corrupt > 0.0 && !dgram.payload.empty() && rng.NextBool(profile.corrupt)) {
+    const uint64_t flips = 1 + rng.NextBelow(4);
+    for (uint64_t i = 0; i < flips; ++i) {
+      const size_t offset = static_cast<size_t>(rng.NextBelow(dgram.payload.size()));
+      dgram.payload[offset] ^= static_cast<uint8_t>(1 + rng.NextBelow(255));
+    }
+    ++fault_stats_.datagrams_corrupted;
+  }
+  const bool duplicated = profile.duplicate > 0.0 && rng.NextBool(profile.duplicate);
+  if (duplicated) {
+    ++fault_stats_.datagrams_duplicated;
+  }
+  // The original and any duplicate draw independent injection delays, so a duplicate can
+  // overtake its original — the nastiest reordering the dedup window must absorb.
+  const int copies = duplicated ? 2 : 1;
+  for (int i = 0; i < copies; ++i) {
+    Datagram copy = (i + 1 == copies) ? std::move(dgram) : dgram;
+    SimDuration hold = 0;
+    if (profile.delay_jitter > 0) {
+      hold = static_cast<SimDuration>(
+          rng.NextBelow(static_cast<uint64_t>(profile.delay_jitter)));
+    }
+    if (hold > 0) {
+      ++fault_stats_.datagrams_delayed;
+      sim_->Schedule(hold, [this, d = std::move(copy)]() mutable { SendOnUplink(std::move(d)); });
+    } else {
+      SendOnUplink(std::move(copy));
+    }
+  }
+}
+
+void Fabric::SendOnUplink(Datagram dgram) {
+  ports_[dgram.src]->up->Send(std::move(dgram));
+}
+
 void Fabric::Send(Datagram dgram) {
   if (dgram.src >= ports_.size() || dgram.dst >= ports_.size()) {
     ++misrouted_;
     return;
   }
-  ports_[dgram.src]->up->Send(std::move(dgram));
+  if (const FaultProfile* profile = ProfileFor(dgram.src, dgram.dst)) {
+    SendWithFaults(std::move(dgram), *profile);
+    return;
+  }
+  SendOnUplink(std::move(dgram));
 }
 
 const LinkStats& Fabric::uplink_stats(NodeId node) const {

@@ -5,14 +5,20 @@
 // delay and a bounded FIFO output queue; datagrams experience store-and-forward serialization
 // at the sender's link and again at the switch's egress port, which is exactly the contention
 // point exercised by the Figure 11 IF-sharing experiment. Optional per-link loss and
-// reordering injection exercise the protocol's replay path.
+// reordering injection exercise the protocol's replay path, and a deterministic chaos layer
+// (FaultProfile, per directed node pair) additionally injects duplication, truncation and
+// byte corruption so the transport's failure paths are tested against a genuinely hostile
+// fabric, not just a slow one.
 
 #ifndef SRC_NET_FABRIC_H_
 #define SRC_NET_FABRIC_H_
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "src/sim/simulator.h"
@@ -86,6 +92,38 @@ struct FabricOptions {
   // deeper uplink queue. Drops under contention happen at switch egress ports (the `link`
   // queue limit), which is where real switched ethernet loses packets.
   int64_t host_queue_bytes = 8 * 1024 * 1024;
+  // Base seed for the chaos layer; each directed (src, dst) pair derives its own stream from
+  // it, so adding a faulty link never perturbs the fault schedule of another.
+  uint64_t fault_seed = 0xc4a05f17u;
+};
+
+// Chaos-layer knobs for one directed (src, dst) path. All probabilities are per datagram
+// and independent, so one datagram can be (say) both corrupted and duplicated; the faults
+// compound the way a genuinely sick fabric's would. Draws come from a per-path RNG seeded
+// from FabricOptions::fault_seed, so fault schedules are bit-for-bit reproducible.
+struct FaultProfile {
+  double loss = 0.0;       // datagram silently dropped
+  double duplicate = 0.0;  // a second copy is injected (independently delayed)
+  double corrupt = 0.0;    // 1..4 payload bytes are XOR-flipped
+  double truncate = 0.0;   // the payload tail is chopped at a random offset
+  // When > 0, each datagram (and each injected duplicate) is held back by an independent
+  // uniform [0, delay_jitter) before entering its uplink, which reorders traffic.
+  SimDuration delay_jitter = 0;
+
+  bool active() const {
+    return loss > 0.0 || duplicate > 0.0 || corrupt > 0.0 || truncate > 0.0 ||
+           delay_jitter > 0;
+  }
+};
+
+// What the chaos layer actually did; tests assert against these so a "survived chaos" pass
+// can prove faults were really injected rather than the profile being a no-op.
+struct FaultStats {
+  int64_t datagrams_dropped = 0;
+  int64_t datagrams_duplicated = 0;
+  int64_t datagrams_corrupted = 0;
+  int64_t datagrams_truncated = 0;
+  int64_t datagrams_delayed = 0;
 };
 
 // Star topology around a single output-queued switch.
@@ -106,12 +144,25 @@ class Fabric {
   // Sends from dgram.src to dgram.dst. Unknown nodes are dropped silently (counted).
   void Send(Datagram dgram);
 
+  // --- Chaos layer (fault injection) ---
+  // Applies `profile` to every directed path without a per-pair override. Passing a
+  // default-constructed profile turns the default chaos off.
+  void InjectFaults(const FaultProfile& profile);
+  // Applies `profile` to datagrams traveling src -> dst only (call twice, swapped, for a
+  // symmetric sick link). Overrides the fabric-wide default for that path.
+  void InjectFaults(NodeId src, NodeId dst, const FaultProfile& profile);
+  // Removes the src -> dst override (the fabric-wide default, if any, applies again).
+  void ClearFaults(NodeId src, NodeId dst);
+  // Removes the fabric-wide default and every per-pair override.
+  void ClearFaults();
+
   Simulator* simulator() { return sim_; }
 
   // Aggregated stats.
   const LinkStats& uplink_stats(NodeId node) const;    // node -> switch
   const LinkStats& downlink_stats(NodeId node) const;  // switch -> node
   int64_t datagrams_misrouted() const { return misrouted_; }
+  const FaultStats& fault_stats() const { return fault_stats_; }
 
  private:
   struct Port {
@@ -120,11 +171,25 @@ class Fabric {
     ReceiveFn receive;
   };
 
+  // Looks up the profile governing src -> dst (per-pair override first, then the fabric
+  // default); returns nullptr when the path is healthy.
+  const FaultProfile* ProfileFor(NodeId src, NodeId dst) const;
+  Rng& FaultRngFor(NodeId src, NodeId dst);
+  // Applies `profile` to one datagram: may drop it, mutate its payload, inject a duplicate
+  // and/or delay the handoff to the uplink.
+  void SendWithFaults(Datagram dgram, const FaultProfile& profile);
+  void SendOnUplink(Datagram dgram);
+
   Simulator* sim_;
   FabricOptions options_;
   Rng rng_;
   std::vector<std::unique_ptr<Port>> ports_;
   int64_t misrouted_ = 0;
+
+  std::optional<FaultProfile> default_faults_;
+  std::map<std::pair<NodeId, NodeId>, FaultProfile> pair_faults_;
+  std::map<std::pair<NodeId, NodeId>, Rng> fault_rngs_;
+  FaultStats fault_stats_;
 };
 
 }  // namespace slim

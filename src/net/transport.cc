@@ -11,14 +11,33 @@ namespace {
 
 constexpr uint8_t kFragmentMagic = 0x5f;
 constexpr uint8_t kBatchMagic = 0x5e;
-constexpr size_t kFragmentHeaderBytes = 1 + 2 + 2 + 8;  // magic, index, count, msg_seq
+// Every datagram: magic, then a u32 FNV-1a checksum of everything after the checksum field.
+constexpr size_t kChecksumBytes = 4;
+// Fragment datagram: magic, checksum, index, count, msg_seq.
+constexpr size_t kFragmentHeaderBytes = 1 + kChecksumBytes + 2 + 2 + 8;
 constexpr size_t kMaxFragmentPayload =
     static_cast<size_t>(kMtuBytes) - kFragmentHeaderBytes;
-// Batch datagram: magic, session, item count; then per item: type, payload length, seq.
-constexpr size_t kBatchHeaderBytes = 1 + 4 + 2;
+// Batch datagram: magic, checksum, session, item count; per item: type, payload length, seq.
+constexpr size_t kBatchHeaderBytes = 1 + kChecksumBytes + 4 + 2;
 constexpr size_t kBatchItemHeaderBytes = 1 + 2 + 8;
 // Only messages small enough to share a datagram with at least one sibling are batched.
 constexpr size_t kMaxBatchableBody = 500;
+// Delivered seqs remembered per peer for duplicate suppression; older seqs fall below the
+// dedup floor and are rejected wholesale.
+constexpr size_t kDedupWindow = 1024;
+// Consecutive no-progress NACKs of one range before the receiver gives it up entirely.
+constexpr int kNackMaxStrikes = 6;
+
+// Stamps the checksum into a fully assembled datagram whose layout is
+// [magic][checksum placeholder][covered bytes...].
+std::vector<uint8_t> SealDatagram(ByteWriter w) {
+  std::vector<uint8_t> bytes = w.Take();
+  const uint32_t sum = Fnv1a32(std::span<const uint8_t>(bytes).subspan(1 + kChecksumBytes));
+  for (size_t i = 0; i < kChecksumBytes; ++i) {
+    bytes[1 + i] = static_cast<uint8_t>(sum >> (8 * i));
+  }
+  return bytes;
+}
 
 }  // namespace
 
@@ -95,6 +114,7 @@ void SlimEndpoint::FlushBatch(NodeId peer) {
   }
   ByteWriter w;
   w.U8(kBatchMagic);
+  w.U32(0);  // checksum placeholder, filled by SealDatagram
   w.U32(batch.session_id);
   w.U16(static_cast<uint16_t>(batch.items.size()));
   for (const BatchItem& item : batch.items) {
@@ -106,15 +126,14 @@ void SlimEndpoint::FlushBatch(NodeId peer) {
   Datagram dgram;
   dgram.src = self_;
   dgram.dst = peer;
-  dgram.payload = w.Take();
+  dgram.payload = SealDatagram(std::move(w));
   ++stats_.batches_sent;
   ++stats_.fragments_sent;
   fabric_->Send(std::move(dgram));
 }
 
-void SlimEndpoint::OnBatchDatagram(const Datagram& dgram) {
-  ByteReader r(dgram.payload);
-  r.U8();  // magic, already checked
+void SlimEndpoint::OnBatchDatagram(const Datagram& dgram, std::span<const uint8_t> body) {
+  ByteReader r(body);
   const uint32_t session_id = r.U32();
   const uint16_t count = r.U16();
   for (uint16_t i = 0; i < count; ++i) {
@@ -126,8 +145,8 @@ void SlimEndpoint::OnBatchDatagram(const Datagram& dgram) {
       ++stats_.reassembly_failures;
       return;
     }
-    auto body = ParseMessageBody(type, payload);
-    if (!body.has_value()) {
+    auto parsed = ParseMessageBody(type, payload);
+    if (!parsed.has_value()) {
       ++stats_.reassembly_failures;
       return;
     }
@@ -135,8 +154,12 @@ void SlimEndpoint::OnBatchDatagram(const Datagram& dgram) {
     Message msg;
     msg.session_id = session_id;
     msg.seq = seq;
-    msg.body = std::move(*body);
+    msg.body = std::move(*parsed);
     DeliverMessage(SerializeMessage(msg), dgram.src);
+  }
+  if (r.remaining() != 0) {
+    // Trailing bytes a well-formed sender never produces; flag rather than ignore.
+    ++stats_.reassembly_failures;
   }
 }
 
@@ -150,6 +173,7 @@ void SlimEndpoint::SendSerialized(NodeId peer, uint64_t msg_seq,
     const size_t len = std::min(kMaxFragmentPayload, bytes.size() - offset);
     ByteWriter w;
     w.U8(kFragmentMagic);
+    w.U32(0);  // checksum placeholder, filled by SealDatagram
     w.U16(static_cast<uint16_t>(i));
     w.U16(static_cast<uint16_t>(frag_count));
     w.U64(msg_seq);
@@ -157,22 +181,35 @@ void SlimEndpoint::SendSerialized(NodeId peer, uint64_t msg_seq,
     Datagram dgram;
     dgram.src = self_;
     dgram.dst = peer;
-    dgram.payload = w.Take();
+    dgram.payload = SealDatagram(std::move(w));
     ++stats_.fragments_sent;
     fabric_->Send(std::move(dgram));
   }
 }
 
 void SlimEndpoint::OnDatagram(Datagram dgram) {
-  if (!dgram.payload.empty() && dgram.payload[0] == kBatchMagic) {
-    OnBatchDatagram(dgram);
-    return;
-  }
+  // Framing gate: everything after [magic][checksum] must hash to the checksum. A flipped
+  // bit, a chopped tail or a stray datagram is counted and dropped here, never parsed.
   ByteReader r(dgram.payload);
-  if (r.U8() != kFragmentMagic) {
-    ++stats_.reassembly_failures;
+  const uint8_t magic = r.U8();
+  if (!r.ok() || (magic != kFragmentMagic && magic != kBatchMagic)) {
+    ++stats_.datagrams_corrupted;
     return;
   }
+  const uint32_t checksum = r.U32();
+  if (!r.ok() || Fnv1a32(r.Rest()) != checksum) {
+    ++stats_.datagrams_corrupted;
+    return;
+  }
+  if (magic == kBatchMagic) {
+    OnBatchDatagram(dgram, r.Rest());
+  } else {
+    OnFragmentDatagram(dgram, r.Rest());
+  }
+}
+
+void SlimEndpoint::OnFragmentDatagram(const Datagram& dgram, std::span<const uint8_t> body) {
+  ByteReader r(body);
   const uint16_t index = r.U16();
   const uint16_t count = r.U16();
   const uint64_t msg_seq = r.U64();
@@ -199,6 +236,7 @@ void SlimEndpoint::OnDatagram(Datagram dgram) {
     reasm_.erase(key);
     return;
   }
+  ctx.last_update = fabric_->simulator()->now();
   if (!ctx.fragments[index].has_value()) {
     ctx.fragments[index] = std::move(data);
     ++ctx.received;
@@ -210,9 +248,73 @@ void SlimEndpoint::OnDatagram(Datagram dgram) {
     }
     reasm_.erase(key);
     DeliverMessage(std::move(whole), dgram.src);
-  } else if (reasm_.size() > options_.max_reassembly) {
-    reasm_.erase(reasm_.begin());
+    return;
   }
+  if (reasm_.size() > options_.max_reassembly) {
+    EvictOldestReassembly();
+  }
+  ArmReassemblySweep();
+}
+
+void SlimEndpoint::EvictOldestReassembly() {
+  auto oldest = reasm_.begin();
+  for (auto it = std::next(reasm_.begin()); it != reasm_.end(); ++it) {
+    if (it->second.last_update < oldest->second.last_update) {
+      oldest = it;
+    }
+  }
+  ++stats_.reassembly_failures;
+  const auto key = oldest->first;
+  reasm_.erase(oldest);
+  NackAbandonedMessage(key.first, key.second);
+}
+
+void SlimEndpoint::SweepReassembly() {
+  reasm_sweep_event_ = kInvalidEventId;
+  const SimTime now = fabric_->simulator()->now();
+  std::vector<std::pair<NodeId, uint64_t>> expired;
+  for (auto it = reasm_.begin(); it != reasm_.end();) {
+    if (now - it->second.last_update >= options_.reassembly_timeout) {
+      ++stats_.reassembly_timeouts;
+      expired.push_back(it->first);
+      it = reasm_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& [src, msg_seq] : expired) {
+    NackAbandonedMessage(src, msg_seq);
+  }
+  ArmReassemblySweep();
+}
+
+void SlimEndpoint::NackAbandonedMessage(NodeId src, uint64_t msg_seq) {
+  // A context died with fragments still missing, so `msg_seq` is a message we know exists
+  // and know we do not have. Recovery is normally driven by later deliveries exposing the
+  // gap, but when the abandoned message was itself the *last* traffic in flight (the tail
+  // of a burst, or a replay that arrived partially) nothing else will ever trigger the
+  // NACK — so trigger it here. Unsequenced control traffic (seq 0) is not replayable.
+  if (!options_.enable_nack || msg_seq == 0) {
+    return;
+  }
+  PeerRecvState& state = recv_state_[src];
+  state.missing.insert(msg_seq);
+  MaybeSendNack(src, 0, state);
+}
+
+void SlimEndpoint::ArmReassemblySweep() {
+  if (reasm_sweep_event_ != kInvalidEventId || reasm_.empty() ||
+      options_.reassembly_timeout <= 0) {
+    return;
+  }
+  SimTime oldest = reasm_.begin()->second.last_update;
+  for (const auto& [key, ctx] : reasm_) {
+    oldest = std::min(oldest, ctx.last_update);
+  }
+  const SimTime now = fabric_->simulator()->now();
+  const SimDuration delay = std::max<SimDuration>(0, oldest + options_.reassembly_timeout - now);
+  reasm_sweep_event_ =
+      fabric_->simulator()->Schedule(delay, [this] { SweepReassembly(); });
 }
 
 void SlimEndpoint::DeliverMessage(std::vector<uint8_t> bytes, NodeId from) {
@@ -226,14 +328,19 @@ void SlimEndpoint::DeliverMessage(std::vector<uint8_t> bytes, NodeId from) {
     return;
   }
   if (msg->seq != 0) {
-    auto& delivered = recent_delivered_[from];
-    if (delivered.count(msg->seq) > 0) {
+    DedupWindow& dedup = recent_delivered_[from];
+    // At or below the floor means the seq was already delivered and then aged out of the
+    // window; without the floor, a sufficiently stale replay would be applied twice.
+    if (msg->seq <= dedup.floor || dedup.seen.count(msg->seq) > 0) {
       ++stats_.duplicate_messages;
+      // An abandoned duplicate context may have re-flagged this seq as missing; it is not.
+      recv_state_[from].missing.erase(msg->seq);
       return;  // Idempotent replay: already applied, drop quietly.
     }
-    delivered.insert(msg->seq);
-    while (delivered.size() > 1024) {
-      delivered.erase(delivered.begin());
+    dedup.seen.insert(msg->seq);
+    while (dedup.seen.size() > kDedupWindow) {
+      dedup.floor = *dedup.seen.begin();
+      dedup.seen.erase(dedup.seen.begin());
     }
     PeerRecvState& state = recv_state_[from];
     if (msg->seq > state.max_seq) {
@@ -264,13 +371,21 @@ void SlimEndpoint::MaybeSendNack(NodeId peer, uint32_t session_id, PeerRecvState
     state.missing.erase(state.missing.begin());
   }
   if (state.missing.empty()) {
+    state.nack_gate = options_.nack_backoff_min;
+    state.last_nack_first = 0;
+    state.nack_strikes = 0;
     return;
   }
-  const SimTime now = fabric_->simulator()->now();
-  if (now - state.last_nack_at < Milliseconds(5)) {
-    return;  // Rate-limit: one outstanding request per RTT-ish window.
+  if (state.nack_gate <= 0) {
+    state.nack_gate = options_.nack_backoff_min;
   }
-  state.last_nack_at = now;
+  const SimTime now = fabric_->simulator()->now();
+  if (now - state.last_nack_at < state.nack_gate) {
+    // Gate: one outstanding request per back-off window. Arm a retry at gate expiry so
+    // recovery does not depend on another delivery happening to land after the window.
+    ArmNackRetry(peer, state);
+    return;
+  }
   // Request the oldest contiguous missing range.
   const uint64_t first = *state.missing.begin();
   uint64_t last = first;
@@ -278,8 +393,61 @@ void SlimEndpoint::MaybeSendNack(NodeId peer, uint32_t session_id, PeerRecvState
        it != state.missing.end() && *it == last + 1; ++it) {
     last = *it;
   }
+  if (first == state.last_nack_first) {
+    // If fragments of the requested message are still streaming in, the replay is working;
+    // re-NACKing now would just provoke a duplicate replay. Slide the clock to the last
+    // fragment arrival and check again one gate later (if reassembly stalls for a full
+    // gate, the strike logic below resumes).
+    const auto ctx = reasm_.find(std::make_pair(peer, first));
+    if (ctx != reasm_.end() && now - ctx->second.last_update < state.nack_gate) {
+      state.last_nack_at = std::max(state.last_nack_at, ctx->second.last_update);
+      ArmNackRetry(peer, state);
+      return;
+    }
+    // The previous NACK for this very range produced no progress — it or its replay was
+    // lost, or the peer cannot replay it. Widen the gate (bounded) instead of hammering,
+    // and after kNackMaxStrikes fruitless tries give the range up for good: the display
+    // stream is self-correcting (a later full repaint supersedes lost updates), and an
+    // unreplayable range must not keep the retry timer alive forever.
+    state.nack_gate = std::min(state.nack_gate * 2, options_.nack_backoff_max);
+    ++stats_.nack_backoffs;
+    if (++state.nack_strikes >= kNackMaxStrikes) {
+      state.missing.erase(state.missing.lower_bound(first), state.missing.upper_bound(last));
+      state.last_nack_first = 0;
+      state.nack_strikes = 0;
+      state.nack_gate = options_.nack_backoff_min;
+      if (!state.missing.empty()) {
+        ArmNackRetry(peer, state);  // move on to the next range
+      }
+      return;
+    }
+  } else {
+    state.nack_gate = options_.nack_backoff_min;
+    state.last_nack_first = first;
+    state.nack_strikes = 0;
+  }
+  state.last_nack_at = now;
   ++stats_.nacks_sent;
   Send(peer, session_id, NackMsg{first, last});
+  // If the NACK or its entire replay is lost there will be no delivery to re-trigger us;
+  // the retry re-examines the range once the gate reopens.
+  ArmNackRetry(peer, state);
+}
+
+void SlimEndpoint::ArmNackRetry(NodeId peer, PeerRecvState& state) {
+  if (state.nack_retry_event != kInvalidEventId) {
+    return;
+  }
+  const SimTime now = fabric_->simulator()->now();
+  const SimDuration delay =
+      std::max<SimDuration>(0, state.last_nack_at + state.nack_gate - now);
+  state.nack_retry_event = fabric_->simulator()->Schedule(delay, [this, peer] {
+    PeerRecvState& st = recv_state_[peer];
+    st.nack_retry_event = kInvalidEventId;
+    if (options_.enable_nack) {
+      MaybeSendNack(peer, 0, st);
+    }
+  });
 }
 
 void SlimEndpoint::HandleNack(const NackMsg& nack, NodeId from) {

@@ -4,6 +4,12 @@
 // stop-and-wait. Messages are fragmented to the MTU, reassembled by (source, sequence), and
 // sequence gaps trigger a NACK asking the sender to replay from its bounded history —
 // application-specific recovery that works because every SLIM message is idempotent.
+//
+// Every datagram carries a framing checksum, so a fabric that corrupts or truncates bytes
+// (see FaultProfile) produces counted drops — which the NACK path then repairs — rather
+// than garbage pixels. Partial reassembly contexts expire on a timeout, duplicate
+// suppression extends below its window via an eviction floor, and NACKs for a range that
+// keeps failing back off exponentially.
 
 #ifndef SRC_NET_TRANSPORT_H_
 #define SRC_NET_TRANSPORT_H_
@@ -14,6 +20,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "src/net/fabric.h"
@@ -33,15 +40,39 @@ struct TransportStats {
   int64_t reassembly_failures = 0;
   int64_t nacks_sent = 0;
   int64_t replays_sent = 0;
+  // Inbound datagrams rejected by the framing checksum (or carrying an unknown magic):
+  // corruption and truncation land here instead of being parsed as protocol bytes.
+  int64_t datagrams_corrupted = 0;
+  // Partial reassembly contexts abandoned because no fragment arrived within
+  // reassembly_timeout (the rest of the message was lost; NACK replay re-sends it whole).
+  int64_t reassembly_timeouts = 0;
+  // Times the NACK gate widened because a re-NACK for the same missing range was needed
+  // (the previous NACK or its replay was itself lost).
+  int64_t nack_backoffs = 0;
 };
+
+// The stats one SlimEndpoint exposes; alias kept distinct from the struct name so call
+// sites read as what they are (per-endpoint counters, not global transport totals).
+using EndpointStats = TransportStats;
 
 struct EndpointOptions {
   // How many recent messages the sender retains for NACK replay.
   size_t replay_history = 512;
-  // Reassembly contexts kept live before the oldest is abandoned.
-  size_t max_reassembly = 64;
+  // Reassembly contexts kept live before the oldest (by last fragment arrival) is evicted.
+  // Sized so a full-screen repaint burst over a lossy fabric (hundreds of messages, a third
+  // of them waiting on one replayed fragment) does not thrash the table.
+  size_t max_reassembly = 256;
+  // A partial reassembly context that has not seen a fragment for this long is abandoned
+  // and counted in reassembly_timeouts; without it, a single lost fragment would pin its
+  // context (and its memory) forever.
+  SimDuration reassembly_timeout = Milliseconds(250);
   // Sequence tracking / NACK generation on gaps (can be disabled for ablation).
   bool enable_nack = true;
+  // NACK pacing: the first NACK for a missing range waits nack_backoff_min since the last
+  // NACK; every re-NACK of the same range doubles the gate up to nack_backoff_max, so a
+  // peer that cannot replay (history evicted, path black-holed) is not NACK-hammered.
+  SimDuration nack_backoff_min = Milliseconds(5);
+  SimDuration nack_backoff_max = Milliseconds(40);
 
   // Section 5.4's proposed low-bandwidth optimizations, off by default (the Sun Ray 1 did
   // not ship them): small messages bound for the same peer are held for up to batch_delay
@@ -73,12 +104,25 @@ class SlimEndpoint {
     uint16_t frag_count = 0;
     std::vector<std::optional<std::vector<uint8_t>>> fragments;
     size_t received = 0;
+    SimTime last_update = 0;  // last fragment arrival; drives timeout + eviction order
   };
 
   void OnDatagram(Datagram dgram);
+  void OnFragmentDatagram(const Datagram& dgram, std::span<const uint8_t> body);
   void DeliverMessage(std::vector<uint8_t> bytes, NodeId from);
   void SendSerialized(NodeId peer, uint64_t msg_seq, const std::vector<uint8_t>& bytes);
   void HandleNack(const NackMsg& nack, NodeId from);
+
+  // --- Reassembly-context hygiene ---
+  // Evicts the context with the oldest last_update when reasm_ exceeds max_reassembly.
+  void EvictOldestReassembly();
+  // Drops every context idle for reassembly_timeout or longer, then re-arms the sweep
+  // timer for the oldest survivor (partial contexts expire even if traffic goes quiet).
+  void SweepReassembly();
+  void ArmReassemblySweep();
+  // Marks an abandoned (timed-out or evicted) partial message as missing and NACKs it, so
+  // recovery restarts even when no further deliveries would expose the gap.
+  void NackAbandonedMessage(NodeId src, uint64_t msg_seq);
 
   // --- Batching (Section 5.4 optimizations) ---
   struct BatchItem {
@@ -94,7 +138,7 @@ class SlimEndpoint {
   };
   void AppendToBatch(NodeId peer, uint32_t session_id, uint64_t seq, const MessageBody& body);
   void FlushBatch(NodeId peer);
-  void OnBatchDatagram(const Datagram& dgram);
+  void OnBatchDatagram(const Datagram& dgram, std::span<const uint8_t> body);
 
   Fabric* fabric_;
   NodeId self_;
@@ -103,21 +147,38 @@ class SlimEndpoint {
   TransportStats stats_;
 
   // Per-peer receive-side gap tracking: highest seq seen plus the set of missing seqs below
-  // it. Missing ranges are re-NACKed (rate-limited) on later deliveries, so a lost NACK or a
-  // lost replay gets another chance — the paper's "application-specific error recovery".
+  // it. Missing ranges are re-NACKed (back-off-gated) on later deliveries, so a lost NACK or
+  // a lost replay gets another chance — the paper's "application-specific error recovery".
   struct PeerRecvState {
     uint64_t max_seq = 0;
     std::set<uint64_t> missing;
     SimTime last_nack_at = -kSecond;
+    SimDuration nack_gate = 0;        // current back-off gate; 0 = not yet initialized
+    uint64_t last_nack_first = 0;     // start of the last range NACKed (0 = none yet)
+    int nack_strikes = 0;             // consecutive NACKs of the same range without progress
+    EventId nack_retry_event = kInvalidEventId;  // pending gate-expiry retry, if any
+  };
+
+  // Per-peer duplicate suppression: the window of recently delivered seqs plus the floor —
+  // the highest seq ever evicted from the window. A replay at or below the floor was
+  // necessarily delivered once already (it entered and aged out of the window), so it is a
+  // duplicate even though the window itself no longer remembers it.
+  struct DedupWindow {
+    std::set<uint64_t> seen;
+    uint64_t floor = 0;
   };
 
   void MaybeSendNack(NodeId peer, uint32_t session_id, PeerRecvState& state);
+  // Schedules a MaybeSendNack retry for when the back-off gate reopens (single pending
+  // event per peer), so a lost NACK/replay is retried even with no further inbound traffic.
+  void ArmNackRetry(NodeId peer, PeerRecvState& state);
 
   std::map<NodeId, uint64_t> next_seq_;  // per-peer send sequence
   std::map<NodeId, PeerRecvState> recv_state_;
   std::map<std::pair<NodeId, uint64_t>, Reassembly> reasm_;
+  EventId reasm_sweep_event_ = kInvalidEventId;
   std::deque<std::pair<uint64_t, std::vector<uint8_t>>> history_;  // (seq, serialized)
-  std::map<NodeId, std::set<uint64_t>> recent_delivered_;   // duplicate suppression window
+  std::map<NodeId, DedupWindow> recent_delivered_;
   std::map<NodeId, Batch> batches_;  // pending per-peer batches when batching is enabled
 };
 

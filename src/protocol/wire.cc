@@ -80,4 +80,13 @@ std::vector<uint8_t> ByteReader::Bytes(size_t n) {
   return out;
 }
 
+uint32_t Fnv1a32(std::span<const uint8_t> data) {
+  uint32_t hash = 0x811c9dc5u;
+  for (const uint8_t byte : data) {
+    hash ^= byte;
+    hash *= 0x01000193u;
+  }
+  return hash;
+}
+
 }  // namespace slim

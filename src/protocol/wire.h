@@ -45,6 +45,10 @@ class ByteReader {
   bool ok() const { return ok_; }
   size_t remaining() const { return data_.size() - pos_; }
 
+  // The not-yet-consumed tail of the buffer (without consuming it); lets framing layers
+  // checksum everything that follows a header field.
+  std::span<const uint8_t> Rest() const { return data_.subspan(pos_); }
+
  private:
   bool Need(size_t n);
 
@@ -52,6 +56,11 @@ class ByteReader {
   size_t pos_ = 0;
   bool ok_ = true;
 };
+
+// 32-bit FNV-1a over a byte span. The transport stamps every datagram with this so that
+// corrupted or truncated datagrams are detected, counted and dropped instead of being
+// parsed as protocol bytes (the fabric's chaos layer flips and chops bytes on purpose).
+uint32_t Fnv1a32(std::span<const uint8_t> data);
 
 }  // namespace slim
 

@@ -92,14 +92,26 @@ void ServerSession::CopyArea(int32_t src_x, int32_t src_y, const Rect& dst) {
   if (clipped.empty()) {
     return;
   }
+  // Clipping the destination must shift the source origin by the same amount, or the copied
+  // pixels land misaligned relative to what the caller asked for.
+  const int32_t shifted_src_x = src_x + (clipped.x - dst.x);
+  const int32_t shifted_src_y = src_y + (clipped.y - dst.y);
   const SimTime now = server_->simulator()->now();
   // The copy reads the current screen, so any not-yet-encoded damage must be encoded first
   // to keep the console's command stream in order.
   EncodeDamageToPending();
-  fb_.CopyRect(src_x, src_y, clipped);
+  fb_.CopyRect(shifted_src_x, shifted_src_y, clipped);
   render_time_ += server_->options().cpu.CopyCost(clipped.area());
   log_.RecordXRequest(now, XCopyAreaBytes());
-  QueueCommand(CopyCommand{src_x, src_y, clipped});
+  const Rect src_rect{shifted_src_x, shifted_src_y, clipped.w, clipped.h};
+  if (fb_.bounds().ContainsRect(src_rect)) {
+    QueueCommand(CopyCommand{shifted_src_x, shifted_src_y, clipped});
+  } else {
+    // The console rejects COPYs that read out of bounds, so send the result literally:
+    // CopyRect already wrote the (partially black-padded) pixels, mark them damaged and let
+    // the encoder pick the representation.
+    damage_.Add(clipped);
+  }
 }
 
 void ServerSession::SendVideoFrame(const YuvImage& frame, const Rect& dst, CscsDepth depth) {

@@ -48,6 +48,11 @@ class Simulator {
   // Runs all events with time <= t, then advances the clock to exactly t.
   void RunUntil(SimTime t);
 
+  // Runs all events within the next `d` of simulated time, then advances the clock by
+  // exactly d. Chaos soak loops use this to pace injected input against a simulator that,
+  // under fault injection, always has future events pending (timeouts, delayed duplicates).
+  void RunFor(SimDuration d) { RunUntil(now_ + d); }
+
   // Number of events executed so far (for tests and sanity limits).
   uint64_t events_executed() const { return events_executed_; }
   size_t pending_events() const { return callbacks_.size(); }

@@ -120,4 +120,14 @@ int Rng::NextPoisson(double mean) {
 
 Rng Rng::Split() { return Rng(NextU64()); }
 
+uint64_t Rng::MixSeed(uint64_t seed, uint64_t salt_a, uint64_t salt_b) {
+  uint64_t x = seed;
+  uint64_t mixed = SplitMix64(x);
+  x ^= salt_a * 0x9e3779b97f4a7c15ull;
+  mixed ^= SplitMix64(x);
+  x ^= salt_b * 0xbf58476d1ce4e5b9ull;
+  mixed ^= SplitMix64(x);
+  return mixed;
+}
+
 }  // namespace slim

@@ -49,6 +49,12 @@ class Rng {
   // flow its own stream so adding one does not perturb the others.
   Rng Split();
 
+  // Mixes a base seed with identifying salts into a fresh seed (SplitMix64 finalizer).
+  // Unlike Split(), this does not advance any generator: the fabric's chaos layer uses it to
+  // derive one deterministic stream per (src, dst) link regardless of the order in which
+  // links first see traffic.
+  static uint64_t MixSeed(uint64_t seed, uint64_t salt_a, uint64_t salt_b = 0);
+
  private:
   uint64_t state_[4];
 };

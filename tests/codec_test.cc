@@ -133,6 +133,51 @@ TEST(EncoderTest, LargeSetSplitsBelowLimit) {
   }
 }
 
+TEST(EncoderTest, SetSplitsHorizontallyWhenRectIsWiderThanLimit) {
+  // Regression: EmitSet used to split only by rows, so a merged run wider than
+  // max_set_pixels produced a single SET exceeding the limit (and, at one row minimum, the
+  // row split could not help). The encoder must split horizontally too.
+  EncoderOptions options;
+  options.max_set_pixels = 64;
+  Framebuffer fb(300, 20);
+  Rng rng(7);
+  fb.SetPixels(Rect{0, 0, 300, 20}, MakePhotoBlock(&rng, 300, 20));
+  Encoder encoder(options);
+  std::vector<DisplayCommand> cmds;
+  encoder.EncodeRect(fb, fb.bounds(), &cmds);
+  int64_t total = 0;
+  for (const auto& cmd : cmds) {
+    if (TypeOf(cmd) == CommandType::kSet) {
+      EXPECT_LE(AffectedPixels(cmd), options.max_set_pixels);
+    }
+    total += AffectedPixels(cmd);
+  }
+  EXPECT_EQ(total, 300 * 20);
+  // The split must still reproduce the source exactly (no gaps or overlaps).
+  Framebuffer target(300, 20);
+  for (const auto& cmd : cmds) {
+    ASSERT_TRUE(ApplyCommand(cmd, &target));
+  }
+  EXPECT_EQ(target.ContentHash(), fb.ContentHash());
+}
+
+TEST(DecoderTest, ApplyRejectsCopyReadingOutsideTheFramebuffer) {
+  Framebuffer fb(32, 32);
+  fb.Fill(Rect{0, 0, 32, 32}, MakePixel(9, 9, 9));
+  const uint64_t before = fb.ContentHash();
+  // ValidateCommand is framebuffer-agnostic, so an out-of-bounds source rect passes it;
+  // ApplyCommand must be the backstop and reject without touching the framebuffer.
+  CopyCommand bad{24, 24, Rect{0, 0, 16, 16}};  // source exits the 32x32 framebuffer
+  EXPECT_TRUE(ValidateCommand(DisplayCommand(bad)));
+  EXPECT_FALSE(ApplyCommand(DisplayCommand(bad), &fb));
+  EXPECT_EQ(fb.ContentHash(), before);
+  CopyCommand negative{-1, 0, Rect{4, 4, 8, 8}};
+  EXPECT_FALSE(ApplyCommand(DisplayCommand(negative), &fb));
+  EXPECT_EQ(fb.ContentHash(), before);
+  CopyCommand good{0, 0, Rect{16, 16, 8, 8}};
+  EXPECT_TRUE(ApplyCommand(DisplayCommand(good), &fb));
+}
+
 TEST(EncoderTest, DisablingHeuristicsForcesSet) {
   EncoderOptions options;
   options.enable_fill = false;

@@ -5,10 +5,30 @@
 
 #include "src/net/fabric.h"
 #include "src/net/transport.h"
+#include "src/protocol/wire.h"
 #include "src/sim/simulator.h"
 
 namespace slim {
 namespace {
+
+// Hand-frames one fragment datagram exactly as SlimEndpoint would put it on the wire
+// (magic, checksum, index, count, msg_seq, payload); lets tests inject crafted fragments.
+std::vector<uint8_t> FrameFragment(uint16_t index, uint16_t count, uint64_t msg_seq,
+                                   std::span<const uint8_t> payload) {
+  ByteWriter w;
+  w.U8(0x5f);  // fragment magic
+  w.U32(0);    // checksum placeholder
+  w.U16(index);
+  w.U16(count);
+  w.U64(msg_seq);
+  w.Bytes(payload);
+  std::vector<uint8_t> bytes = w.Take();
+  const uint32_t sum = Fnv1a32(std::span<const uint8_t>(bytes).subspan(5));
+  for (int i = 0; i < 4; ++i) {
+    bytes[1 + i] = static_cast<uint8_t>(sum >> (8 * i));
+  }
+  return bytes;
+}
 
 TEST(FabricTest, DeliversDatagramBetweenNodes) {
   Simulator sim;
@@ -188,8 +208,10 @@ TEST(TransportTest, GapTriggersNackAndReplayRecovers) {
   EXPECT_GT(b.stats().nacks_sent, 0);
   EXPECT_GT(a.stats().replays_sent, 0);
   // Replay recovers most of the ~28% two-hop loss. Recovery is driven by later arrivals,
-  // so losses near the end of the stream (and lost replays of lost NACKs) can stay lost.
-  EXPECT_GT(received, 265);
+  // so losses near the end of the stream (and lost replays of lost NACKs) can stay lost;
+  // ranges whose replays keep getting lost also retry on a widening back-off gate, which
+  // trades some tail recovery for not hammering the return path.
+  EXPECT_GT(received, 240);
 }
 
 TEST(TransportTest, DuplicateDeliveryIsSuppressed) {
@@ -354,10 +376,176 @@ TEST(TransportTest, CorruptDatagramIgnored) {
   SlimEndpoint b(&fabric, fabric.AddNode());
   int received = 0;
   b.set_handler([&](const Message&, NodeId) { ++received; });
+  // Unknown magic: never parsed, counted as corrupt at the framing gate.
   fabric.Send(Datagram{a.node(), b.node(), {0xde, 0xad, 0xbe, 0xef}});
   sim.Run();
   EXPECT_EQ(received, 0);
-  EXPECT_EQ(b.stats().reassembly_failures, 1);
+  EXPECT_EQ(b.stats().datagrams_corrupted, 1);
+  EXPECT_EQ(b.stats().reassembly_failures, 0);
+}
+
+TEST(TransportTest, ChecksumRejectsFlippedAndTruncatedBytes) {
+  // Capture a genuine fragment datagram, then replay mutated variants of it; every
+  // mutation must be caught by the framing checksum and counted, never delivered.
+  Simulator sim;
+  Fabric fabric(&sim, {});
+  SlimEndpoint a(&fabric, fabric.AddNode());
+  SlimEndpoint b(&fabric, fabric.AddNode());
+  const NodeId tap = fabric.AddNode();
+  std::vector<uint8_t> genuine;
+  fabric.SetReceiver(tap, [&](Datagram d) { genuine = d.payload; });
+  a.Send(tap, 1, KeyEventMsg{7, true});
+  sim.Run();
+  ASSERT_FALSE(genuine.empty());
+
+  int received = 0;
+  b.set_handler([&](const Message&, NodeId) { ++received; });
+  for (size_t flip = 1; flip < genuine.size(); ++flip) {
+    std::vector<uint8_t> bent = genuine;
+    bent[flip] ^= 0x40;
+    fabric.Send(Datagram{a.node(), b.node(), std::move(bent)});
+  }
+  std::vector<uint8_t> chopped(genuine.begin(), genuine.end() - 3);
+  fabric.Send(Datagram{a.node(), b.node(), std::move(chopped)});
+  sim.Run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(b.stats().datagrams_corrupted, static_cast<int64_t>(genuine.size() - 1) + 1);
+
+  // The unmutated original still parses (same seq namespace, fresh endpoint state).
+  fabric.Send(Datagram{a.node(), b.node(), genuine});
+  sim.Run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(TransportTest, StaleReplayBelowDedupWindowIsStillSuppressed) {
+  // Regression: a replayed seq that has aged out of the 1024-entry dedup window must be
+  // caught by the eviction floor instead of being applied a second time.
+  Simulator sim;
+  Fabric fabric(&sim, {});
+  SlimEndpoint a(&fabric, fabric.AddNode());
+  SlimEndpoint b(&fabric, fabric.AddNode());
+  int received = 0;
+  b.set_handler([&](const Message&, NodeId) { ++received; });
+  a.Send(b.node(), 1, PingMsg{0});
+  sim.Run();
+  ASSERT_EQ(received, 1);
+  // Push seq 1 far below the dedup window.
+  for (int i = 0; i < 1600; ++i) {
+    a.Send(b.node(), 1, PingMsg{static_cast<uint64_t>(i + 1)});
+  }
+  sim.Run();
+  ASSERT_EQ(received, 1601);
+  // Replay seq 1 directly, framed as the single-fragment datagram a sender honoring a
+  // stale NACK would emit (a's replay history, 512 deep, no longer holds it).
+  const int64_t dupes_before = b.stats().duplicate_messages;
+  Message stale;
+  stale.session_id = 1;
+  stale.seq = 1;
+  stale.body = PingMsg{0};
+  fabric.Send(Datagram{a.node(), b.node(),
+                       FrameFragment(0, 1, stale.seq, SerializeMessage(stale))});
+  sim.Run();
+  EXPECT_EQ(received, 1601) << "stale replay must not be applied twice";
+  EXPECT_EQ(b.stats().duplicate_messages, dupes_before + 1);
+}
+
+TEST(TransportTest, PartialReassemblyContextTimesOut) {
+  // One fragment of a three-fragment message arrives and the rest never does: the context
+  // must be reclaimed on the timeout instead of leaking forever.
+  Simulator sim;
+  Fabric fabric(&sim, {});
+  SlimEndpoint a(&fabric, fabric.AddNode());
+  EndpointOptions opts;
+  opts.reassembly_timeout = Milliseconds(50);
+  SlimEndpoint b(&fabric, fabric.AddNode(), opts);
+  int received = 0;
+  b.set_handler([&](const Message&, NodeId) { ++received; });
+  const std::vector<uint8_t> chunk(100, 0x11);
+  fabric.Send(Datagram{a.node(), b.node(), FrameFragment(0, 3, 9, chunk)});
+  sim.Run();  // runs the sweep event as well; the queue must drain completely
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(b.stats().reassembly_timeouts, 1);
+  EXPECT_EQ(sim.pending_events(), 0u) << "no sweep timer may linger once contexts are gone";
+
+  // Fragments of the same message arriving after the timeout start a fresh context; once
+  // all three are present the message would still need to parse, so use a real one.
+  SlimEndpoint c(&fabric, fabric.AddNode());
+  std::vector<Message> delivered;
+  b.set_handler([&](const Message& m, NodeId) { delivered.push_back(m); });
+  SetCommand cmd;
+  cmd.dst = Rect{0, 0, 50, 50};
+  cmd.rgb.assign(50 * 50 * 3, 0x3d);
+  c.Send(b.node(), 2, cmd);
+  sim.Run();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(std::get<SetCommand>(delivered[0].body), cmd);
+}
+
+TEST(TransportTest, ReassemblyEvictsOldestContextNotMapOrder) {
+  // Fill the reassembly table with partial contexts whose map order (keyed by msg_seq)
+  // disagrees with their age: seq 100 is oldest but sorts last. Overflow must evict seq 100
+  // (oldest by arrival), leaving the low-seq newcomers completable.
+  Simulator sim;
+  Fabric fabric(&sim, {});
+  SlimEndpoint a(&fabric, fabric.AddNode());
+  EndpointOptions opts;
+  opts.max_reassembly = 4;
+  opts.reassembly_timeout = Seconds(10);  // timeouts out of the picture
+  SlimEndpoint b(&fabric, fabric.AddNode(), opts);
+  int received = 0;
+  b.set_handler([&](const Message&, NodeId) { ++received; });
+
+  const std::vector<uint8_t> chunk(100, 0x22);
+  auto send_partial = [&](uint64_t seq) {
+    fabric.Send(Datagram{a.node(), b.node(), FrameFragment(0, 2, seq, chunk)});
+    sim.RunFor(Milliseconds(1));
+  };
+  send_partial(100);  // oldest by time, last in map order
+  send_partial(2);
+  send_partial(3);
+  send_partial(4);
+  // Seq 1: sorts first in the map, so map-order eviction would pick it as the victim the
+  // moment its own arrival overflows the table. Send it as two real message halves.
+  Message msg;
+  msg.session_id = 1;
+  msg.seq = 1;
+  msg.body = PingMsg{42};
+  const std::vector<uint8_t> wire = SerializeMessage(msg);
+  const std::span<const uint8_t> wire_span(wire);
+  const size_t half = wire.size() / 2;
+  fabric.Send(Datagram{a.node(), b.node(), FrameFragment(0, 2, 1, wire_span.subspan(0, half))});
+  // Bounded steps, not sim.Run(): draining the whole queue would fast-forward 10 s to the
+  // sweep timer and expire the very context under test.
+  sim.RunFor(Milliseconds(1));
+  fabric.Send(Datagram{a.node(), b.node(), FrameFragment(1, 2, 1, wire_span.subspan(half))});
+  sim.RunFor(Milliseconds(1));
+  EXPECT_EQ(received, 1) << "the freshest context must not have been the eviction victim";
+  EXPECT_EQ(b.stats().reassembly_failures, 1);  // exactly one eviction (seq 100, the oldest)
+}
+
+TEST(TransportTest, NackGateBacksOffWhenReplayKeepsFailing) {
+  // A NACK whose replay never arrives must be retried on a widening (but bounded) gate,
+  // not at the old fixed 5 ms cadence. Deliver seqs 2..20 (seq 1 permanently missing) from
+  // a node with no endpoint behind it, so b's NACKs vanish unanswered.
+  Simulator sim;
+  Fabric fabric(&sim, {});
+  SlimEndpoint b(&fabric, fabric.AddNode());
+  const NodeId mute = fabric.AddNode();
+  b.set_handler([](const Message&, NodeId) {});
+  Message msg;
+  msg.session_id = 1;
+  msg.body = PingMsg{1};
+  for (uint64_t seq = 2; seq <= 20; ++seq) {
+    msg.seq = seq;
+    fabric.Send(Datagram{mute, b.node(), FrameFragment(0, 1, seq, SerializeMessage(msg))});
+    sim.RunFor(Milliseconds(10));
+  }
+  sim.Run();
+  // 190 ms of arrivals, each a re-NACK opportunity: the old limiter would send ~19 NACKs;
+  // the 5..40 ms exponential gate must settle at its cap and send far fewer.
+  EXPECT_GT(b.stats().nack_backoffs, 0);
+  EXPECT_GT(b.stats().nacks_sent, 2);
+  EXPECT_LT(b.stats().nacks_sent, 12);
 }
 
 }  // namespace
