@@ -45,19 +45,20 @@ Framebuffer MakeMixedScreen() {
   return fb;
 }
 
-void EncoderHeuristicAblation() {
+void EncoderHeuristicAblation(BenchReporter* report) {
   std::printf("\n1) Encoder command-selection heuristics (1024x768 mixed screen)\n");
   const Framebuffer screen = MakeMixedScreen();
   TextTable table({"configuration", "commands", "KB on wire", "compression"});
   struct Config {
     const char* name;
+    const char* slug;
     bool fill;
     bool bitmap;
   };
-  for (const Config& config : {Config{"full encoder", true, true},
-                               Config{"no BITMAP detection", true, false},
-                               Config{"no FILL detection", false, true},
-                               Config{"SET only (raw pixels)", false, false}}) {
+  for (const Config& config : {Config{"full encoder", "full", true, true},
+                               Config{"no BITMAP detection", "no_bitmap", true, false},
+                               Config{"no FILL detection", "no_fill", false, true},
+                               Config{"SET only (raw pixels)", "set_only", false, false}}) {
     EncoderOptions options;
     options.enable_fill = config.fill;
     options.enable_bitmap = config.bitmap;
@@ -71,6 +72,8 @@ void EncoderHeuristicAblation() {
     const int64_t raw = screen.bounds().area() * 3;
     table.AddRow({config.name, Format("%zu", cmds.size()), Format("%lld", wire / 1024),
                   Format("%.1fx", static_cast<double>(raw) / static_cast<double>(wire))});
+    report->Metric(std::string("encoder.") + config.slug + ".compression",
+                   static_cast<double>(raw) / static_cast<double>(wire), "ratio");
   }
   std::printf("%s", table.Render().c_str());
 }
@@ -119,7 +122,7 @@ void CscsDepthAblation() {
   std::printf("%s", table.Render().c_str());
 }
 
-void NackAblation() {
+void NackAblation(BenchReporter* report) {
   std::printf("\n4) Transport recovery on a 5%%-loss link (per direction)\n");
   TextTable table({"configuration", "delivered / 400", "replays"});
   for (const bool nack : {true, false}) {
@@ -145,6 +148,8 @@ void NackAblation() {
     table.AddRow({nack ? "NACK + idempotent replay" : "no recovery",
                   Format("%d", received),
                   Format("%lld", static_cast<long long>(a.stats().replays_sent))});
+    report->Metric(nack ? "transport.nack.delivered" : "transport.no_recovery.delivered",
+                   int64_t{received}, "messages");
   }
   std::printf("%s", table.Render().c_str());
 }
@@ -174,7 +179,7 @@ void AllocatorAblation() {
               100.0 / 3.0 - 2.0);
 }
 
-void BatchingAblation() {
+void BatchingAblation(BenchReporter* report) {
   std::printf("\n6) Section 5.4 future work: batching + header compression on a 56 Kbps link\n");
   // A typing-echo workload: 4 glyph updates per second for 30 s over a modem-speed link.
   TextTable table({"configuration", "bytes on wire", "avg delivery delay"});
@@ -208,6 +213,8 @@ void BatchingAblation() {
                   Format("%lld", static_cast<long long>(
                                      fabric.uplink_stats(server.node()).bytes_sent)),
                   Format("%.1f ms", delay.mean())});
+    report->Metric(batching ? "modem.batched.wire_bytes" : "modem.unbatched.wire_bytes",
+                   fabric.uplink_stats(server.node()).bytes_sent, "bytes");
   }
   std::printf("%s", table.Render().c_str());
   std::printf("The paper predicted these optimizations \"could have a dramatic effect\" on\n"
@@ -221,11 +228,13 @@ int main() {
   using namespace slim;
   PrintHeader("Ablations - encoder heuristics, granularity, CSCS depth, transport, allocator",
               "DESIGN.md section 5 (design-choice index)");
-  EncoderHeuristicAblation();
+  BenchReporter report("ablation_encoder",
+                       "Encoder heuristics, granularity, CSCS depth, transport, allocator");
+  EncoderHeuristicAblation(&report);
   GranularityAblation();
   CscsDepthAblation();
-  NackAblation();
+  NackAblation(&report);
   AllocatorAblation();
-  BatchingAblation();
+  BatchingAblation(&report);
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "src/apps/benchmark_apps.h"
 #include "src/console/console.h"
 #include "src/net/fabric.h"
+#include "src/obs/metrics.h"
 #include "src/server/slim_server.h"
 #include "src/sim/simulator.h"
 #include "src/util/table.h"
@@ -31,8 +32,13 @@ int main() {
   using namespace slim;
   PrintHeader("Chaos soak - session recovery under fabric fault injection",
               "Schmidt et al., SOSP'99, Section 2.2 (error recovery)");
+  // SLIM_TRACE=out.json captures the recovery machinery as a Chrome trace: NACK instants,
+  // replay stalls (missing-seq -> replayed/given-up spans) and the decode pipeline.
+  ScopedTraceFromEnv trace;
+  BenchReporter report("chaos_soak", "Session recovery under fabric fault injection");
 
   const int events = EnvInt("SLIM_SOAK_EVENTS", 300);
+  report.Knob("SLIM_SOAK_EVENTS", events);
   std::vector<ProfileRow> rows;
   rows.push_back({"healthy", {}});
   {
@@ -73,6 +79,12 @@ int main() {
     Fabric fabric(&sim, {});
     SlimServer server(&sim, &fabric, {});
     Console console(&sim, &fabric, {});
+    // A fresh registry per profile: the same counters the table below reads through the
+    // legacy struct accessors, now visible as one named snapshot.
+    MetricRegistry registry;
+    fabric.RegisterMetrics(&registry);
+    server.RegisterMetrics(&registry);
+    console.RegisterMetrics(&registry);
     const uint64_t card = server.auth().IssueCard(1);
     ServerSession& session = server.CreateSession(card);
     auto app = MakeApplication(AppKind::kPim, &session, 1234);
@@ -122,6 +134,16 @@ int main() {
          Format("%lld", static_cast<long long>(cs.datagrams_corrupted +
                                                ss.datagrams_corrupted)),
          Format("%d", heal_rounds), converged ? "yes" : "NO"});
+    const std::string base = row.name;
+    report.Metric(base + ".nacks", cs.nacks_sent + ss.nacks_sent, "count");
+    report.Metric(base + ".replays", cs.replays_sent + ss.replays_sent, "count");
+    report.Metric(base + ".cksum_rejects", cs.datagrams_corrupted + ss.datagrams_corrupted,
+                  "count");
+    report.Metric(base + ".heal_rounds", int64_t{heal_rounds}, "rounds");
+    report.Metric(base + ".converged", int64_t{converged ? 1 : 0}, "bool");
+    // The last profile's full registry snapshot rides along in the report (every profile
+    // overwrites the previous, so the surviving one is the sickest fabric).
+    report.AttachSnapshot(registry);
   }
   std::printf("%s", table.Render().c_str());
   return 0;

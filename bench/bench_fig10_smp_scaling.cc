@@ -43,6 +43,7 @@ int main() {
   using namespace slim;
   PrintHeader("Figure 10 - SMP scaling, Netscape users per CPU (1-8 CPUs)",
               "Schmidt et al., SOSP'99, Figure 10");
+  BenchReporter report("fig10_smp_scaling", "SMP scaling, Netscape users per CPU");
   const SimDuration horizon = Seconds(EnvInt("SLIM_SECONDS", 60));
 
   const int cpu_configs[] = {1, 2, 4, 8};
@@ -64,6 +65,9 @@ int main() {
     std::fprintf(stderr, "[fig10] %d users/cpu done\n", per_cpu);
   }
   std::printf("%s", table.Render().c_str());
+  for (size_t c = 0; c < 4; ++c) {
+    report.Metric(Format("added_latency_4percpu_%dcpu", cpu_configs[c]), low_load[c], "ms");
+  }
   std::printf("\nAt 4 users/CPU: 1 CPU -> %.1f ms vs 8 CPUs -> %.1f ms (paper: more CPUs "
               "slightly better at light load,\nbecause a waking burst more easily finds a "
               "free processor).\n",

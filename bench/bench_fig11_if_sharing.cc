@@ -61,6 +61,7 @@ int main() {
   using namespace slim;
   PrintHeader("Figure 11 - Round-trip latency vs users sharing the IF",
               "Schmidt et al., SOSP'99, Figure 11");
+  BenchReporter report("fig11_if_sharing", "Round-trip latency vs users sharing the IF");
   const SimDuration horizon = Seconds(EnvInt("SLIM_SECONDS", 60));
 
   struct Sweep {
@@ -95,6 +96,8 @@ int main() {
     } else {
       std::printf("No knee inside the sweep.\n");
     }
+    report.Metric(std::string(AppKindName(sweep.kind)) + ".knee_users",
+                  static_cast<int64_t>(knee), "users");
   }
   return 0;
 }

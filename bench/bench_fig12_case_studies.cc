@@ -93,7 +93,8 @@ std::vector<Snapshot> SimulateSite(bool lab, int cpus, int terminals, uint64_t s
   return out;
 }
 
-void Report(const char* name, bool lab, int cpus, int terminals, uint64_t seed) {
+void Report(BenchReporter* report, const char* slug, const char* name, bool lab, int cpus,
+            int terminals, uint64_t seed) {
   const auto day = SimulateSite(lab, cpus, terminals, seed);
   std::printf("\n%s (%d CPUs, %d terminals) - 5-minute maxima, hourly rows:\n", name, cpus,
               terminals);
@@ -119,6 +120,10 @@ void Report(const char* name, bool lab, int cpus, int terminals, uint64_t seed) 
               peak_cpu > cpus - 0.05 ? "(fully utilized at peak, as the paper's lab)"
                                      : "(headroom remains, as the paper's office)",
               peak_net, peak_total);
+  const std::string base = slug;
+  report->Metric(base + ".peak_cpu_util", peak_cpu, "cpus");
+  report->Metric(base + ".peak_net", peak_net, "Mbps");
+  report->Metric(base + ".peak_users", static_cast<int64_t>(peak_total), "users");
 }
 
 }  // namespace
@@ -128,7 +133,10 @@ int main() {
   using namespace slim;
   PrintHeader("Figure 12 - Day-long load profiles of two installations",
               "Schmidt et al., SOSP'99, Figure 12 / Section 6.3");
-  Report("Site A: university lab (E250-class)", /*lab=*/true, 2, 50, 0xa11);
-  Report("Site B: product development (E4500-class)", /*lab=*/false, 8, 110, 0xb22);
+  BenchReporter report("fig12_case_studies", "Day-long load profiles of two installations");
+  Report(&report, "site_a", "Site A: university lab (E250-class)", /*lab=*/true, 2, 50,
+         0xa11);
+  Report(&report, "site_b", "Site B: product development (E4500-class)", /*lab=*/false, 8,
+         110, 0xb22);
   return 0;
 }

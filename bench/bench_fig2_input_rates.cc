@@ -15,6 +15,7 @@ int main() {
   using namespace slim;
   PrintHeader("Figure 2 - CDF of user input event frequency",
               "Schmidt et al., SOSP'99, Figure 2");
+  BenchReporter report("fig2_input_rates", "CDF of user input event frequency");
 
   TextTable table({"Application", "events", ">28Hz (paper <1%)", "<10Hz (paper ~70%)",
                    ">=1s apart (NS/PS >> FM/PIM)", "median Hz"});
@@ -41,6 +42,11 @@ int main() {
                   Format("%.1f%%", 100.0 * static_cast<double>(slow) /
                                        static_cast<double>(total)),
                   Format("%.2f", cdf.InverseCdf(0.5))});
+    const std::string app = AppKindName(kind);
+    report.Metric(app + ".events", total, "count");
+    report.Metric(app + ".over_28hz", 100.0 * (1.0 - cdf.CdfAt(28.0)), "percent");
+    report.Metric(app + ".under_10hz", 100.0 * cdf.CdfAt(10.0), "percent");
+    report.Metric(app + ".median_rate", cdf.InverseCdf(0.5), "events/s");
     std::printf("\n%s CDF (events/sec -> cumulative fraction):\n%s", AppKindName(kind),
                 cdf.CdfSeries(24).c_str());
   }

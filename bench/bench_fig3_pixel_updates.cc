@@ -15,6 +15,7 @@ int main() {
   using namespace slim;
   PrintHeader("Figure 3 - CDF of pixels changed per input event",
               "Schmidt et al., SOSP'99, Figure 3");
+  BenchReporter report("fig3_pixel_updates", "CDF of pixels changed per input event");
 
   TextTable table({"Application", "events", "median px", "<10Kpx (paper ~50%+)",
                    ">10Kpx", ">50Kpx (NS/PS ~30%)"});
@@ -31,6 +32,11 @@ int main() {
                   Format("%.1f%%", 100.0 * cdf.CdfAt(10'000.0)),
                   Format("%.1f%%", 100.0 * (1.0 - cdf.CdfAt(10'000.0))),
                   Format("%.1f%%", 100.0 * (1.0 - cdf.CdfAt(50'000.0)))});
+    const std::string app = AppKindName(kind);
+    report.Metric(app + ".events", cdf.total_count(), "count");
+    report.Metric(app + ".median_pixels", cdf.InverseCdf(0.5), "pixels");
+    report.Metric(app + ".under_10kpx", 100.0 * cdf.CdfAt(10'000.0), "percent");
+    report.Metric(app + ".over_50kpx", 100.0 * (1.0 - cdf.CdfAt(50'000.0)), "percent");
     std::printf("\n%s CDF (pixels -> cumulative fraction):\n%s", AppKindName(kind),
                 cdf.CdfSeries(24).c_str());
   }

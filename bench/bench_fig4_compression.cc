@@ -16,6 +16,7 @@ int main() {
   using namespace slim;
   PrintHeader("Figure 4 - Efficiency of SLIM protocol display commands",
               "Schmidt et al., SOSP'99, Figure 4");
+  BenchReporter report("fig4_compression", "Efficiency of SLIM protocol display commands");
 
   for (int k = 0; k < kAppKindCount; ++k) {
     const auto kind = static_cast<AppKind>(k);
@@ -51,6 +52,12 @@ int main() {
     std::printf("Total: %.2f MB raw -> %.2f MB SLIM  (factor %.1fx)\n",
                 static_cast<double>(raw) / 1e6, static_cast<double>(wire) / 1e6,
                 wire > 0 ? static_cast<double>(raw) / static_cast<double>(wire) : 0.0);
+    const std::string app = AppKindName(kind);
+    report.Metric(app + ".uncompressed_mb", static_cast<double>(raw) / 1e6, "MB");
+    report.Metric(app + ".wire_mb", static_cast<double>(wire) / 1e6, "MB");
+    report.Metric(app + ".compression",
+                  wire > 0 ? static_cast<double>(raw) / static_cast<double>(wire) : 0.0,
+                  "ratio");
   }
   return 0;
 }

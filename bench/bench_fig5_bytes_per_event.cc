@@ -14,6 +14,7 @@ int main() {
   using namespace slim;
   PrintHeader("Figure 5 - CDF of SLIM protocol bytes per input event",
               "Schmidt et al., SOSP'99, Figure 5");
+  BenchReporter report("fig5_bytes_per_event", "CDF of SLIM protocol bytes per input event");
 
   TextTable table({"Application", "median B", ">1KB (FM/PIM ~17%)", ">10KB (NS/PS ~25%)",
                    ">50KB (NS/PS ~5%)", "p95 tx delay @100Mbps"});
@@ -32,6 +33,12 @@ int main() {
                   Format("%.1f%%", 100.0 * (1.0 - cdf.CdfAt(50'000.0))),
                   Format("%.2f ms", ToMillis(TransmissionDelay(
                                         static_cast<int64_t>(p95_bytes), 100'000'000)))});
+    const std::string app = AppKindName(kind);
+    report.Metric(app + ".median_bytes", cdf.InverseCdf(0.5), "bytes");
+    report.Metric(app + ".over_10kb", 100.0 * (1.0 - cdf.CdfAt(10'000.0)), "percent");
+    report.Metric(app + ".p95_tx_delay",
+                  ToMillis(TransmissionDelay(static_cast<int64_t>(p95_bytes), 100'000'000)),
+                  "ms");
     std::printf("\n%s CDF (bytes -> cumulative fraction):\n%s", AppKindName(kind),
                 cdf.CdfSeries(24).c_str());
   }

@@ -86,6 +86,8 @@ int main() {
   using namespace slim;
   PrintHeader("Figure 6 - Added packet delays at reduced link bandwidth (Netscape)",
               "Schmidt et al., SOSP'99, Figure 6 / Section 5.4");
+  BenchReporter report("fig6_bandwidth_scaling",
+                       "Added packet delays at reduced link bandwidth");
 
   // Capture Netscape traces at 100 Mbps; each user's connection is shaped independently
   // (the home-connection scenario the paper simulates).
@@ -105,15 +107,16 @@ int main() {
                    "verdict (paper)"});
   struct Level {
     const char* name;
+    const char* slug;  // for BENCH json metric names
     int64_t bps;
     const char* verdict;
   };
   const Level levels[] = {
-      {"10 Mbps", 10'000'000, "indistinguishable (<5ms)"},
-      {"2 Mbps", 2'000'000, "good, occasional hiccups"},
-      {"1 Mbps", 1'000'000, "acceptable (~50ms)"},
-      {"128 Kbps", 128'000, "unacceptable (>100ms)"},
-      {"56 Kbps", 56'000, "painful"},
+      {"10 Mbps", "10mbps", 10'000'000, "indistinguishable (<5ms)"},
+      {"2 Mbps", "2mbps", 2'000'000, "good, occasional hiccups"},
+      {"1 Mbps", "1mbps", 1'000'000, "acceptable (~50ms)"},
+      {"128 Kbps", "128kbps", 128'000, "unacceptable (>100ms)"},
+      {"56 Kbps", "56kbps", 56'000, "painful"},
   };
   for (const Level& level : levels) {
     Histogram cdf(0.0, 60'000.0, 0.01);  // added delay in ms, paper's 0.01 ms buckets
@@ -137,6 +140,11 @@ int main() {
                   Format("%.2f ms", cdf.InverseCdf(0.90)),
                   Format("%.2f ms", cdf.InverseCdf(0.99)), pct(over_50), pct(over_100),
                   level.verdict});
+    const std::string slug = level.slug;
+    report.Metric(slug + ".p50_added", cdf.InverseCdf(0.50), "ms");
+    report.Metric(slug + ".p99_added", cdf.InverseCdf(0.99), "ms");
+    report.Metric(slug + ".over_100ms",
+                  100.0 * static_cast<double>(over_100) / static_cast<double>(n), "percent");
   }
   std::printf("Replayed %zu packets from the captured Netscape traces.\n\n%s",
               total_packets, table.Render().c_str());

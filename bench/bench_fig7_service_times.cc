@@ -15,6 +15,11 @@ int main() {
   using namespace slim;
   PrintHeader("Figure 7 - CDF of display update service times at the console",
               "Schmidt et al., SOSP'99, Figure 7");
+  // SLIM_TRACE=out.json captures the full pipeline (input dispatch -> render/encode ->
+  // transport -> console decode/present) as a Chrome trace across every study session.
+  ScopedTraceFromEnv trace;
+  BenchReporter report("fig7_service_times",
+                       "CDF of display update service times at the console");
 
   TextTable table({"Application", "updates", "median", "<50ms (paper ~80%+)", ">100ms",
                    "p99"});
@@ -31,6 +36,11 @@ int main() {
                   Format("%.1f%%", 100.0 * cdf.CdfAt(50.0)),
                   Format("%.2f%%", 100.0 * (1.0 - cdf.CdfAt(100.0))),
                   Format("%.1f ms", cdf.InverseCdf(0.99))});
+    const std::string app = AppKindName(kind);
+    report.Metric(app + ".updates", cdf.total_count(), "count");
+    report.Metric(app + ".median_service", cdf.InverseCdf(0.5), "ms");
+    report.Metric(app + ".under_50ms", 100.0 * cdf.CdfAt(50.0), "percent");
+    report.Metric(app + ".p99_service", cdf.InverseCdf(0.99), "ms");
     std::printf("\n%s CDF (ms -> cumulative fraction):\n%s", AppKindName(kind),
                 cdf.CdfSeries(24).c_str());
   }

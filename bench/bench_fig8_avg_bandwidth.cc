@@ -15,6 +15,7 @@ int main() {
   using namespace slim;
   PrintHeader("Figure 8 - Average bandwidth: X vs SLIM vs raw pixels",
               "Schmidt et al., SOSP'99, Figure 8");
+  BenchReporter report("fig8_avg_bandwidth", "Average bandwidth: X vs SLIM vs raw pixels");
 
   TextTable table({"Application", "X (Mbps)", "SLIM (Mbps)", "Raw pixels (Mbps)",
                    "X/SLIM", "Raw/SLIM"});
@@ -43,7 +44,12 @@ int main() {
     table.AddRow({AppKindName(kind), Format("%.3f", x / 1e6), Format("%.3f", slim / 1e6),
                   Format("%.3f", raw / 1e6), Format("%.2f", x / slim),
                   Format("%.1f", raw / slim)});
+    const std::string app = AppKindName(kind);
+    report.Metric(app + ".x_bandwidth", x / 1e6, "Mbps");
+    report.Metric(app + ".slim_bandwidth", slim / 1e6, "Mbps");
+    report.Metric(app + ".raw_bandwidth", raw / 1e6, "Mbps");
   }
+  report.Metric("image_vs_text_slim", image_slim / text_slim, "ratio");
   std::printf("%s", table.Render().c_str());
   std::printf(
       "\nImage applications average %.1fx the SLIM bandwidth of text applications\n"

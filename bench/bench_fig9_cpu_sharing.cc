@@ -46,6 +46,7 @@ int main() {
   using namespace slim;
   PrintHeader("Figure 9 - Added yardstick latency vs active users (1 CPU)",
               "Schmidt et al., SOSP'99, Figure 9");
+  BenchReporter report("fig9_cpu_sharing", "Added yardstick latency vs active users");
   const SimDuration horizon = Seconds(EnvInt("SLIM_SECONDS", 60));
 
   const int counts[] = {0, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 48};
@@ -71,6 +72,8 @@ int main() {
     std::printf("  %-11s %s\n", AppKindName(static_cast<AppKind>(k)),
                 knee[k] > 0 ? Format("~%d users", static_cast<int>(knee[k])).c_str()
                             : "beyond sweep");
+    report.Metric(std::string(AppKindName(static_cast<AppKind>(k))) + ".knee_users",
+                  knee[k], "users");
   }
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "src/apps/content.h"
+#include "src/obs/bench_report.h"
 #include "src/codec/decoder.h"
 #include "src/codec/encoder.h"
 #include "src/color/yuv.h"
@@ -139,7 +140,42 @@ void BM_FramebufferDiff(benchmark::State& state) {
 }
 BENCHMARK(BM_FramebufferDiff);
 
+// Forwards to the normal console output while mirroring each run into the BENCH json
+// (per-iteration real time, plus items/s when the benchmark reports throughput).
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(BenchReporter* out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) {
+        continue;
+      }
+      out_->Metric(run.benchmark_name() + ".real_time", run.GetAdjustedRealTime(), "ns");
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        out_->Metric(run.benchmark_name() + ".items_per_second",
+                     static_cast<double>(items->second.value), "items/s");
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchReporter* out_;
+};
+
 }  // namespace
 }  // namespace slim
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  slim::BenchReporter report("micro_codec", "Wall-clock micro-benchmarks of the hot paths");
+  slim::CapturingReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -113,17 +113,24 @@ int main() {
   using namespace slim;
   PrintHeader("Related work - SLIM server-push vs VNC-style client-pull",
               "Schmidt et al., SOSP'99, Section 8.3");
+  BenchReporter report("related_vnc", "SLIM server-push vs VNC-style client-pull");
   TextTable table({"system", "keystroke->pixels", "server delta CPU (12s run)", "KB sent"});
   const RemoteResult slim_result = MeasureSlim();
   table.AddRow({"SLIM (push at damage time)", Format("%.2f ms", slim_result.avg_latency_ms),
                 "none", Format("%lld", static_cast<long long>(slim_result.kb_sent))});
-  for (const auto& [name, poll] :
-       {std::pair{"VNC-style pull, 20 ms poll", Milliseconds(20)},
-        std::pair{"VNC-style pull, 50 ms poll", Milliseconds(50)},
-        std::pair{"VNC-style pull, 100 ms poll", Milliseconds(100)}}) {
+  report.Metric("slim.latency", slim_result.avg_latency_ms, "ms");
+  report.Metric("slim.kb_sent", slim_result.kb_sent, "KB");
+  for (const auto& [name, slug, poll] :
+       {std::tuple{"VNC-style pull, 20 ms poll", "vnc_20ms", Milliseconds(20)},
+        std::tuple{"VNC-style pull, 50 ms poll", "vnc_50ms", Milliseconds(50)},
+        std::tuple{"VNC-style pull, 100 ms poll", "vnc_100ms", Milliseconds(100)}}) {
     const RemoteResult r = MeasureVnc(poll);
     table.AddRow({name, Format("%.2f ms", r.avg_latency_ms), Format("%.2f s", r.diff_cpu_s),
                   Format("%lld", static_cast<long long>(r.kb_sent))});
+    const std::string base = slug;
+    report.Metric(base + ".latency", r.avg_latency_ms, "ms");
+    report.Metric(base + ".diff_cpu", r.diff_cpu_s, "s");
+    report.Metric(base + ".kb_sent", r.kb_sent, "KB");
   }
   std::printf("%s", table.Render().c_str());
   std::printf("\nThe pull model pays half a poll interval on average before the server even\n"

@@ -183,27 +183,35 @@ int main() {
   using namespace slim;
   PrintHeader("Section 7 - Multimedia applications",
               "Schmidt et al., SOSP'99, Sections 7.1-7.3");
+  BenchReporter report("sec7_multimedia", "Multimedia applications on SLIM");
   const SimDuration horizon = Seconds(EnvInt("SLIM_SECONDS", 20));
 
   TextTable table({"Experiment", "paper fps", "fps", "paper Mbps", "Mbps", "console busy",
                    "drops"});
-  auto add = [&](const char* name, const char* paper_fps, const char* paper_mbps,
-                 const MediaRun& run) {
+  auto add = [&](const char* name, const char* slug, const char* paper_fps,
+                 const char* paper_mbps, const MediaRun& run) {
     table.AddRow({name, paper_fps, Format("%.1f", run.fps), paper_mbps,
                   Format("%.1f", run.mbps), Format("%.0f%%", run.console_busy * 100.0),
                   Format("%lld", static_cast<long long>(run.console_drops))});
+    const std::string base = slug;
+    report.Metric(base + ".fps", run.fps, "fps");
+    report.Metric(base + ".bandwidth", run.mbps, "Mbps");
+    report.Metric(base + ".console_busy", run.console_busy * 100.0, "percent");
   };
   std::fprintf(stderr, "[sec7] mpeg...\n");
-  add("MPEG-II 720x480 @6bpp", "20", "~40", RunMpeg(false, horizon));
-  add("MPEG-II half-line + console scale", "~30", "~20", RunMpeg(true, horizon));
+  add("MPEG-II 720x480 @6bpp", "mpeg_full", "20", "~40", RunMpeg(false, horizon));
+  add("MPEG-II half-line + console scale", "mpeg_half", "~30", "~20",
+      RunMpeg(true, horizon));
   std::fprintf(stderr, "[sec7] ntsc...\n");
-  add("NTSC 640x240->480 @8bpp", "16-20", "19-23", RunNtsc(1, 640, 240, 480, horizon));
-  add("NTSC 4x 320x240 players", "25-28", "59-66 agg",
+  add("NTSC 640x240->480 @8bpp", "ntsc_single", "16-20", "19-23",
+      RunNtsc(1, 640, 240, 480, horizon));
+  add("NTSC 4x 320x240 players", "ntsc_quad", "25-28", "59-66 agg",
       RunNtsc(4, 320, 240, 240, horizon));
   std::fprintf(stderr, "[sec7] quake...\n");
-  add("Quake 640x480 @5bpp", "18-21", "22-26", RunQuake(1, 640, 480, horizon));
-  add("Quake 480x360", "28-34", "20-24", RunQuake(1, 480, 360, horizon));
-  add("Quake 4x 320x240", "37-40", "46-50 agg", RunQuake(4, 320, 240, horizon));
+  add("Quake 640x480 @5bpp", "quake_640", "18-21", "22-26", RunQuake(1, 640, 480, horizon));
+  add("Quake 480x360", "quake_480", "28-34", "20-24", RunQuake(1, 480, 360, horizon));
+  add("Quake 4x 320x240", "quake_quad", "37-40", "46-50 agg",
+      RunQuake(4, 320, 240, horizon));
   std::printf("%s", table.Render().c_str());
   std::printf("\nNotes: fps is per player/instance; Mbps is summed across parallel "
               "instances.\nServer CPU (decode/translation) is the bottleneck for the single "

@@ -135,6 +135,7 @@ int main() {
   using namespace slim;
   PrintHeader("Table 4 - Stand-alone benchmarks for the SLIM console",
               "Schmidt et al., SOSP'99, Table 4");
+  BenchReporter report("table4_standalone", "Stand-alone benchmarks for the SLIM console");
 
   const SimDuration echo = EchoResponseTime(Microseconds(430));
   const SimDuration emacs = EchoResponseTime(Microseconds(3300) + Microseconds(430));
@@ -159,5 +160,9 @@ int main() {
   std::printf("%s", table.Render().c_str());
   std::printf("\nNetwork transmission costs the server %.1f%% of its graphics throughput\n",
               (1.0 - ops_per_cpu_second_wire / ops_per_cpu_second_nowire) * 100.0);
+  report.Metric("echo_response", ToMicros(echo), "us");
+  report.Metric("emacs_echo_response", ToMillis(emacs), "ms");
+  report.Metric("xmark_with_wire", ops_per_cpu_second_wire * scale, "xmarks");
+  report.Metric("xmark_no_wire", ops_per_cpu_second_nowire * scale, "xmarks");
   return 0;
 }

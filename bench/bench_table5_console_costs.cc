@@ -130,23 +130,25 @@ int main() {
   using namespace slim;
   PrintHeader("Table 5 - SLIM console protocol processing costs",
               "Schmidt et al., SOSP'99, Table 5");
+  BenchReporter report("table5_console_costs", "SLIM console protocol processing costs");
 
   struct Row {
     const char* name;
+    const char* slug;
     CommandType type;
     CscsDepth depth;
     double paper_startup;
     double paper_per_pixel;
   };
   const Row rows[] = {
-      {"SET", CommandType::kSet, CscsDepth::k16, 5000, 270},
-      {"BITMAP", CommandType::kBitmap, CscsDepth::k16, 11080, 22},
-      {"FILL", CommandType::kFill, CscsDepth::k16, 5000, 2},
-      {"COPY", CommandType::kCopy, CscsDepth::k16, 5000, 10},
-      {"CSCS (16 bpp)", CommandType::kCscs, CscsDepth::k16, 24000, 205},
-      {"CSCS (12 bpp)", CommandType::kCscs, CscsDepth::k12, 24000, 193},
-      {"CSCS (8 bpp)", CommandType::kCscs, CscsDepth::k8, 24000, 178},
-      {"CSCS (5 bpp)", CommandType::kCscs, CscsDepth::k5, 24000, 150},
+      {"SET", "set", CommandType::kSet, CscsDepth::k16, 5000, 270},
+      {"BITMAP", "bitmap", CommandType::kBitmap, CscsDepth::k16, 11080, 22},
+      {"FILL", "fill", CommandType::kFill, CscsDepth::k16, 5000, 2},
+      {"COPY", "copy", CommandType::kCopy, CscsDepth::k16, 5000, 10},
+      {"CSCS (16 bpp)", "cscs16", CommandType::kCscs, CscsDepth::k16, 24000, 205},
+      {"CSCS (12 bpp)", "cscs12", CommandType::kCscs, CscsDepth::k12, 24000, 193},
+      {"CSCS (8 bpp)", "cscs8", CommandType::kCscs, CscsDepth::k8, 24000, 178},
+      {"CSCS (5 bpp)", "cscs5", CommandType::kCscs, CscsDepth::k5, 24000, 150},
   };
   TextTable table({"Command", "Startup (paper)", "Startup (meas.)", "ns/px (paper)",
                    "ns/px (meas.)", "R^2"});
@@ -155,6 +157,9 @@ int main() {
     table.AddRow({row.name, Format("%.0f ns", row.paper_startup),
                   Format("%.0f ns", fit.intercept), Format("%.0f", row.paper_per_pixel),
                   Format("%.1f", fit.slope), Format("%.4f", fit.r_squared)});
+    const std::string base = row.slug;
+    report.Metric(base + ".startup", fit.intercept, "ns");
+    report.Metric(base + ".per_pixel", fit.slope, "ns/px");
   }
   std::printf("%s", table.Render().c_str());
   std::printf("\nMeasured startup includes the %d ns per-message dispatch overhead the\n"

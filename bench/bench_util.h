@@ -7,6 +7,10 @@
 //   SLIM_USERS    simulated users per application      (default 12, paper 50)
 //   SLIM_MINUTES  simulated minutes per user session   (default 5, paper 10)
 //   SLIM_SECONDS  horizon for sharing experiments      (default 60)
+//
+// Alongside the text, every harness writes BENCH_<name>.json through BenchReporter (see
+// src/obs/bench_report.h) into $SLIM_BENCH_DIR (cwd by default), and the harnesses that
+// drive full sessions honor SLIM_TRACE=<path.json> via ScopedTraceFromEnv.
 
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
@@ -16,17 +20,14 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/bench_report.h"
+#include "src/obs/trace.h"
 #include "src/workload/user_study.h"
 
 namespace slim {
 
-inline int EnvInt(const char* name, int fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') {
-    return fallback;
-  }
-  return std::atoi(value);
-}
+// EnvInt (strtol-validated, warns and falls back on garbage) comes from
+// src/obs/bench_report.h so the library and the harnesses parse knobs identically.
 
 inline int StudyUsers() { return EnvInt("SLIM_USERS", 12); }
 inline SimDuration StudyDuration() {

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_bench_json.dir/tools/validate_bench_json.cc.o"
+  "CMakeFiles/validate_bench_json.dir/tools/validate_bench_json.cc.o.d"
+  "validate_bench_json"
+  "validate_bench_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_bench_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

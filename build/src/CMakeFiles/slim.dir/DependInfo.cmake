@@ -23,6 +23,10 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/loadgen/profile.cc" "src/CMakeFiles/slim.dir/loadgen/profile.cc.o" "gcc" "src/CMakeFiles/slim.dir/loadgen/profile.cc.o.d"
   "/root/repo/src/net/fabric.cc" "src/CMakeFiles/slim.dir/net/fabric.cc.o" "gcc" "src/CMakeFiles/slim.dir/net/fabric.cc.o.d"
   "/root/repo/src/net/transport.cc" "src/CMakeFiles/slim.dir/net/transport.cc.o" "gcc" "src/CMakeFiles/slim.dir/net/transport.cc.o.d"
+  "/root/repo/src/obs/bench_report.cc" "src/CMakeFiles/slim.dir/obs/bench_report.cc.o" "gcc" "src/CMakeFiles/slim.dir/obs/bench_report.cc.o.d"
+  "/root/repo/src/obs/json.cc" "src/CMakeFiles/slim.dir/obs/json.cc.o" "gcc" "src/CMakeFiles/slim.dir/obs/json.cc.o.d"
+  "/root/repo/src/obs/metrics.cc" "src/CMakeFiles/slim.dir/obs/metrics.cc.o" "gcc" "src/CMakeFiles/slim.dir/obs/metrics.cc.o.d"
+  "/root/repo/src/obs/trace.cc" "src/CMakeFiles/slim.dir/obs/trace.cc.o" "gcc" "src/CMakeFiles/slim.dir/obs/trace.cc.o.d"
   "/root/repo/src/protocol/commands.cc" "src/CMakeFiles/slim.dir/protocol/commands.cc.o" "gcc" "src/CMakeFiles/slim.dir/protocol/commands.cc.o.d"
   "/root/repo/src/protocol/messages.cc" "src/CMakeFiles/slim.dir/protocol/messages.cc.o" "gcc" "src/CMakeFiles/slim.dir/protocol/messages.cc.o.d"
   "/root/repo/src/protocol/wire.cc" "src/CMakeFiles/slim.dir/protocol/wire.cc.o" "gcc" "src/CMakeFiles/slim.dir/protocol/wire.cc.o.d"

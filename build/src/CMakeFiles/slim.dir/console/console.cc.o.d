@@ -228,4 +228,6 @@ src/CMakeFiles/slim.dir/console/console.cc.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/codec/decoder.h /root/repo/src/util/check.h
+ /root/repo/src/codec/decoder.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/obs/json.h /root/repo/src/obs/trace.h \
+ /root/repo/src/util/check.h

@@ -218,4 +218,5 @@ src/CMakeFiles/slim.dir/net/fabric.cc.o: /root/repo/src/net/fabric.cc \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/json.h \
  /root/repo/src/util/check.h

@@ -221,8 +221,9 @@ src/CMakeFiles/slim.dir/server/session.cc.o: \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/util/time.h /root/repo/src/util/rng.h \
  /root/repo/src/protocol/messages.h /root/repo/src/server/cpu_model.h \
- /root/repo/src/trace/protocol_log.h /root/repo/src/server/slim_server.h \
- /root/repo/src/net/transport.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/trace/protocol_log.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/obs/json.h /root/repo/src/obs/trace.h \
+ /root/repo/src/server/slim_server.h /root/repo/src/net/transport.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/util/check.h \
  /root/repo/src/xproto/xcost.h

@@ -225,4 +225,5 @@ src/CMakeFiles/slim.dir/server/slim_server.cc.o: \
  /root/repo/src/fb/framebuffer.h /root/repo/src/fb/geometry.h \
  /root/repo/src/server/cpu_model.h /root/repo/src/server/session.h \
  /root/repo/src/codec/encoder.h /root/repo/src/trace/protocol_log.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/json.h \
  /root/repo/src/util/check.h

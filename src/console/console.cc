@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/codec/decoder.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 
 namespace slim {
@@ -18,12 +20,42 @@ Console::Console(Simulator* sim, Fabric* fabric, ConsoleOptions options)
 }
 
 void Console::SendKey(NodeId server, uint32_t session, uint32_t keycode, bool pressed) {
+  if (Tracer* tracer = Tracer::Global(); tracer != nullptr && pressed) {
+    tracer->Instant(sim_->now(), "input.key", "input", kTraceTidInput,
+                    {{"keycode", JsonValue(int64_t{keycode})}});
+  }
   endpoint_->Send(server, session, KeyEventMsg{keycode, pressed});
 }
 
 void Console::SendMouse(NodeId server, uint32_t session, int32_t x, int32_t y, uint8_t buttons,
                         bool is_motion) {
+  if (Tracer* tracer = Tracer::Global(); tracer != nullptr && !is_motion) {
+    tracer->Instant(sim_->now(), "input.mouse", "input", kTraceTidInput,
+                    {{"x", JsonValue(int64_t{x})}, {"y", JsonValue(int64_t{y})}});
+  }
   endpoint_->Send(server, session, MouseEventMsg{x, y, buttons, is_motion});
+}
+
+bool Console::RegisterMetrics(MetricRegistry* registry, const std::string& prefix) {
+  SLIM_CHECK(registry != nullptr);
+  bool ok = true;
+  ok = registry->BindCounter(prefix + ".commands_applied", &commands_applied_) && ok;
+  ok = registry->BindCounter(prefix + ".commands_dropped", &commands_dropped_) && ok;
+  ok = registry->BindCounter(prefix + ".commands_rejected", &commands_rejected_) && ok;
+  ok = registry->BindCounter(prefix + ".cscs_stream_hits", &cscs_stream_hits_) && ok;
+  ok = registry->BindCounter(prefix + ".audio_bytes", &audio_bytes_) && ok;
+  ok = registry->BindGauge(prefix + ".queued_bytes",
+                           [this] { return static_cast<double>(queued_bytes_); }) &&
+       ok;
+  ok = registry->BindGauge(prefix + ".busy_ns",
+                           [this] { return static_cast<double>(busy_time_); }) &&
+       ok;
+  decode_ns_hist_ = registry->Histogram(prefix + ".decode_ns");
+  queue_wait_ns_hist_ = registry->Histogram(prefix + ".queue_wait_ns");
+  command_bytes_hist_ = registry->Histogram(prefix + ".command_bytes");
+  ok = ok && decode_ns_hist_ != nullptr && queue_wait_ns_hist_ != nullptr &&
+       command_bytes_hist_ != nullptr;
+  return endpoint_->RegisterMetrics(registry, prefix + ".transport") && ok;
 }
 
 void Console::InsertCard(NodeId server, uint64_t card_id) {
@@ -100,6 +132,23 @@ void Console::ProcessDisplayCommand(const Message& msg, const DisplayCommand& cm
   record.seq = msg.seq;
   busy_until_ = record.completion;
   busy_time_ += cost;
+  if (decode_ns_hist_ != nullptr) {
+    decode_ns_hist_->Record(cost);
+    queue_wait_ns_hist_->Record(record.start - record.arrival);
+    command_bytes_hist_->Record(static_cast<int64_t>(wire_bytes));
+  }
+  if (Tracer* tracer = Tracer::Global()) {
+    if (record.start > record.arrival) {
+      tracer->Complete(record.arrival, record.start - record.arrival, "console.queue_wait",
+                       "console", kTraceTidConsole,
+                       {{"seq", JsonValue(static_cast<int64_t>(record.seq))}});
+    }
+    tracer->Complete(record.start, cost, "console.decode", "console", kTraceTidConsole,
+                     {{"type", JsonValue(CommandTypeName(record.type))},
+                      {"pixels", JsonValue(record.pixels)},
+                      {"wire_bytes", JsonValue(static_cast<int64_t>(record.wire_bytes))},
+                      {"seq", JsonValue(static_cast<int64_t>(record.seq))}});
+  }
 
   sim_->ScheduleAt(record.completion, [this, cmd, record]() {
     queued_bytes_ -= static_cast<int64_t>(record.wire_bytes);
@@ -110,6 +159,10 @@ void Console::ProcessDisplayCommand(const Message& msg, const DisplayCommand& cm
       return;
     }
     ++commands_applied_;
+    if (Tracer* tracer = Tracer::Global()) {
+      tracer->Instant(record.completion, "console.present", "console", kTraceTidConsole,
+                      {{"seq", JsonValue(static_cast<int64_t>(record.seq))}});
+    }
     if (options_.record_service_log) {
       service_log_.push_back(record);
     }

@@ -12,6 +12,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/console/bandwidth.h"
@@ -22,6 +23,9 @@
 #include "src/sim/simulator.h"
 
 namespace slim {
+
+class ExpHistogram;
+class MetricRegistry;
 
 struct ConsoleOptions {
   int32_t width = 1280;
@@ -77,6 +81,11 @@ class Console {
 
   const BandwidthAllocator& allocator() const { return allocator_; }
 
+  // Registers the console's counters (`<prefix>.*`), decode latency/size histograms, and
+  // its transport endpoint's counters (`<prefix>.transport.*`) with `registry`. Returns
+  // false if any name was rejected (duplicate prefix).
+  bool RegisterMetrics(MetricRegistry* registry, const std::string& prefix = "console");
+
   // Invoked after each command is applied (completion time semantics).
   using ApplyCallback = std::function<void(const ServiceRecord&)>;
   void set_apply_callback(ApplyCallback cb) { apply_callback_ = std::move(cb); }
@@ -110,6 +119,11 @@ class Console {
   int64_t audio_bytes_ = 0;
   std::vector<ServiceRecord> service_log_;
   ApplyCallback apply_callback_;
+  // Registry-owned histograms, non-null only after RegisterMetrics; bumping them is a
+  // branch + O(1) when registered, nothing otherwise.
+  ExpHistogram* decode_ns_hist_ = nullptr;
+  ExpHistogram* queue_wait_ns_hist_ = nullptr;
+  ExpHistogram* command_bytes_hist_ = nullptr;
 };
 
 }  // namespace slim

@@ -4,6 +4,7 @@
 
 #include <utility>
 
+#include "src/obs/metrics.h"
 #include "src/util/check.h"
 
 namespace slim {
@@ -176,6 +177,43 @@ void Fabric::Send(Datagram dgram) {
     return;
   }
   SendOnUplink(std::move(dgram));
+}
+
+bool Fabric::RegisterMetrics(MetricRegistry* registry, const std::string& prefix) {
+  SLIM_CHECK(registry != nullptr);
+  bool ok = true;
+  const auto bind = [&](const std::string& name, const int64_t* cell) {
+    ok = registry->BindCounter(prefix + "." + name, cell) && ok;
+  };
+  bind("fault.datagrams_dropped", &fault_stats_.datagrams_dropped);
+  bind("fault.datagrams_duplicated", &fault_stats_.datagrams_duplicated);
+  bind("fault.datagrams_corrupted", &fault_stats_.datagrams_corrupted);
+  bind("fault.datagrams_truncated", &fault_stats_.datagrams_truncated);
+  bind("fault.datagrams_delayed", &fault_stats_.datagrams_delayed);
+  bind("datagrams_misrouted", &misrouted_);
+  // Per-link counters roll up into whole-fabric gauges: pull-mode sums over every port,
+  // evaluated only at snapshot time, so nodes added after registration are still counted.
+  const auto sum = [this](int64_t LinkStats::* field, bool up) {
+    return [this, field, up] {
+      int64_t total = 0;
+      for (const auto& port : ports_) {
+        total += (up ? port->up : port->down)->stats().*field;
+      }
+      return static_cast<double>(total);
+    };
+  };
+  const auto gauge = [&](const std::string& name, int64_t LinkStats::* field, bool up) {
+    ok = registry->BindGauge(prefix + "." + name, sum(field, up)) && ok;
+  };
+  gauge("uplink.datagrams_sent", &LinkStats::datagrams_sent, true);
+  gauge("uplink.bytes_sent", &LinkStats::bytes_sent, true);
+  gauge("uplink.datagrams_dropped_queue", &LinkStats::datagrams_dropped_queue, true);
+  gauge("uplink.datagrams_dropped_loss", &LinkStats::datagrams_dropped_loss, true);
+  gauge("downlink.datagrams_sent", &LinkStats::datagrams_sent, false);
+  gauge("downlink.bytes_sent", &LinkStats::bytes_sent, false);
+  gauge("downlink.datagrams_dropped_queue", &LinkStats::datagrams_dropped_queue, false);
+  gauge("downlink.datagrams_dropped_loss", &LinkStats::datagrams_dropped_loss, false);
+  return ok;
 }
 
 const LinkStats& Fabric::uplink_stats(NodeId node) const {

@@ -18,6 +18,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -26,6 +27,8 @@
 #include "src/util/time.h"
 
 namespace slim {
+
+class MetricRegistry;
 
 using NodeId = uint32_t;
 constexpr NodeId kInvalidNode = 0xffffffff;
@@ -163,6 +166,11 @@ class Fabric {
   const LinkStats& downlink_stats(NodeId node) const;  // switch -> node
   int64_t datagrams_misrouted() const { return misrouted_; }
   const FaultStats& fault_stats() const { return fault_stats_; }
+
+  // Registers the chaos-layer counters (`<prefix>.fault.*`), misroute counter, and
+  // whole-fabric uplink/downlink aggregates (pull-mode gauges summing every port) with
+  // `registry`. Returns false if any name was rejected (duplicate prefix).
+  bool RegisterMetrics(MetricRegistry* registry, const std::string& prefix = "fabric");
 
  private:
   struct Port {

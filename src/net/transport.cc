@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/protocol/wire.h"
 #include "src/util/check.h"
 
@@ -47,6 +49,53 @@ SlimEndpoint::SlimEndpoint(Fabric* fabric, NodeId self, EndpointOptions options)
   fabric_->SetReceiver(self_, [this](Datagram dgram) { OnDatagram(std::move(dgram)); });
 }
 
+bool SlimEndpoint::RegisterMetrics(MetricRegistry* registry, const std::string& prefix) {
+  SLIM_CHECK(registry != nullptr);
+  bool ok = true;
+  const auto bind = [&](const char* name, const int64_t* cell) {
+    ok = registry->BindCounter(prefix + "." + name, cell) && ok;
+  };
+  bind("messages_sent", &stats_.messages_sent);
+  bind("messages_batched", &stats_.messages_batched);
+  bind("batches_sent", &stats_.batches_sent);
+  bind("messages_received", &stats_.messages_received);
+  bind("duplicate_messages", &stats_.duplicate_messages);
+  bind("bytes_sent", &stats_.bytes_sent);
+  bind("fragments_sent", &stats_.fragments_sent);
+  bind("fragments_received", &stats_.fragments_received);
+  bind("reassembly_failures", &stats_.reassembly_failures);
+  bind("nacks_sent", &stats_.nacks_sent);
+  bind("replays_sent", &stats_.replays_sent);
+  bind("datagrams_corrupted", &stats_.datagrams_corrupted);
+  bind("reassembly_timeouts", &stats_.reassembly_timeouts);
+  bind("nack_backoffs", &stats_.nack_backoffs);
+  return ok;
+}
+
+void SlimEndpoint::NoteMissing(PeerRecvState& state, uint64_t seq) {
+  if (Tracer::Global() != nullptr) {
+    state.missing_since.emplace(seq, fabric_->simulator()->now());
+  }
+}
+
+void SlimEndpoint::ResolveMissing(PeerRecvState& state, uint64_t seq, const char* reason) {
+  if (state.missing_since.empty()) {
+    return;
+  }
+  const auto it = state.missing_since.find(seq);
+  if (it == state.missing_since.end()) {
+    return;
+  }
+  if (Tracer* tracer = Tracer::Global()) {
+    const SimTime now = fabric_->simulator()->now();
+    tracer->Complete(it->second, now - it->second, "transport.replay_stall", "transport",
+                     kTraceTidTransportBase + static_cast<int>(self_),
+                     {{"seq", JsonValue(static_cast<int64_t>(seq))},
+                      {"reason", JsonValue(reason)}});
+  }
+  state.missing_since.erase(it);
+}
+
 uint64_t SlimEndpoint::Send(NodeId peer, uint32_t session_id, MessageBody body) {
   Message msg;
   msg.session_id = session_id;
@@ -56,6 +105,12 @@ uint64_t SlimEndpoint::Send(NodeId peer, uint32_t session_id, MessageBody body) 
   const std::vector<uint8_t> bytes = SerializeMessage(msg);
   ++stats_.messages_sent;
   stats_.bytes_sent += static_cast<int64_t>(bytes.size());
+  if (Tracer* tracer = Tracer::Global(); tracer != nullptr && !is_nack) {
+    tracer->Instant(fabric_->simulator()->now(), "transport.send", "transport",
+                    kTraceTidTransportBase + static_cast<int>(self_),
+                    {{"seq", JsonValue(static_cast<int64_t>(msg.seq))},
+                     {"bytes", JsonValue(static_cast<int64_t>(bytes.size()))}});
+  }
   if (!is_nack) {
     // Replay history stores the full framing so a NACKed message replays standalone even if
     // it was originally batched.
@@ -298,7 +353,9 @@ void SlimEndpoint::NackAbandonedMessage(NodeId src, uint64_t msg_seq) {
     return;
   }
   PeerRecvState& state = recv_state_[src];
-  state.missing.insert(msg_seq);
+  if (state.missing.insert(msg_seq).second) {
+    NoteMissing(state, msg_seq);
+  }
   MaybeSendNack(src, 0, state);
 }
 
@@ -334,7 +391,9 @@ void SlimEndpoint::DeliverMessage(std::vector<uint8_t> bytes, NodeId from) {
     if (msg->seq <= dedup.floor || dedup.seen.count(msg->seq) > 0) {
       ++stats_.duplicate_messages;
       // An abandoned duplicate context may have re-flagged this seq as missing; it is not.
-      recv_state_[from].missing.erase(msg->seq);
+      PeerRecvState& dup_state = recv_state_[from];
+      ResolveMissing(dup_state, msg->seq, "replayed");
+      dup_state.missing.erase(msg->seq);
       return;  // Idempotent replay: already applied, drop quietly.
     }
     dedup.seen.insert(msg->seq);
@@ -348,9 +407,11 @@ void SlimEndpoint::DeliverMessage(std::vector<uint8_t> bytes, NodeId from) {
       // lost (or is still in flight; a spurious NACK is harmless, replay is idempotent).
       for (uint64_t s = state.max_seq + 1; s < msg->seq && state.missing.size() < 512; ++s) {
         state.missing.insert(s);
+        NoteMissing(state, s);
       }
       state.max_seq = msg->seq;
     } else {
+      ResolveMissing(state, msg->seq, "replayed");
       state.missing.erase(msg->seq);
     }
     if (options_.enable_nack) {
@@ -368,6 +429,7 @@ void SlimEndpoint::MaybeSendNack(NodeId peer, uint32_t session_id, PeerRecvState
   // stream is self-correcting (a later full repaint supersedes lost updates).
   while (!state.missing.empty() &&
          *state.missing.begin() + options_.replay_history < state.max_seq) {
+    ResolveMissing(state, *state.missing.begin(), "gave_up_history");
     state.missing.erase(state.missing.begin());
   }
   if (state.missing.empty()) {
@@ -412,6 +474,9 @@ void SlimEndpoint::MaybeSendNack(NodeId peer, uint32_t session_id, PeerRecvState
     state.nack_gate = std::min(state.nack_gate * 2, options_.nack_backoff_max);
     ++stats_.nack_backoffs;
     if (++state.nack_strikes >= kNackMaxStrikes) {
+      for (uint64_t s = first; s <= last; ++s) {
+        ResolveMissing(state, s, "gave_up_strikes");
+      }
       state.missing.erase(state.missing.lower_bound(first), state.missing.upper_bound(last));
       state.last_nack_first = 0;
       state.nack_strikes = 0;
@@ -428,6 +493,13 @@ void SlimEndpoint::MaybeSendNack(NodeId peer, uint32_t session_id, PeerRecvState
   }
   state.last_nack_at = now;
   ++stats_.nacks_sent;
+  if (Tracer* tracer = Tracer::Global()) {
+    tracer->Instant(now, "transport.nack", "transport",
+                    kTraceTidTransportBase + static_cast<int>(self_),
+                    {{"first", JsonValue(static_cast<int64_t>(first))},
+                     {"last", JsonValue(static_cast<int64_t>(last))},
+                     {"strikes", JsonValue(int64_t{state.nack_strikes})}});
+  }
   Send(peer, session_id, NackMsg{first, last});
   // If the NACK or its entire replay is lost there will be no delivery to re-trigger us;
   // the retry re-examines the range once the gate reopens.
@@ -451,11 +523,20 @@ void SlimEndpoint::ArmNackRetry(NodeId peer, PeerRecvState& state) {
 }
 
 void SlimEndpoint::HandleNack(const NackMsg& nack, NodeId from) {
+  int64_t replayed = 0;
   for (const auto& [seq, bytes] : history_) {
     if (seq >= nack.first_seq && seq <= nack.last_seq) {
       ++stats_.replays_sent;
+      ++replayed;
       SendSerialized(from, seq, bytes);
     }
+  }
+  if (Tracer* tracer = Tracer::Global()) {
+    tracer->Instant(fabric_->simulator()->now(), "transport.replay", "transport",
+                    kTraceTidTransportBase + static_cast<int>(self_),
+                    {{"first", JsonValue(static_cast<int64_t>(nack.first_seq))},
+                     {"last", JsonValue(static_cast<int64_t>(nack.last_seq))},
+                     {"replayed", JsonValue(replayed)}});
   }
 }
 

@@ -21,12 +21,15 @@
 #include <optional>
 #include <set>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "src/net/fabric.h"
 #include "src/protocol/messages.h"
 
 namespace slim {
+
+class MetricRegistry;
 
 struct TransportStats {
   int64_t messages_sent = 0;
@@ -99,6 +102,11 @@ class SlimEndpoint {
 
   const TransportStats& stats() const { return stats_; }
 
+  // Registers every TransportStats counter with `registry` as `<prefix>.<field>` (e.g.
+  // "transport.nacks_sent"). The registry reads the same cells stats() exposes, so the two
+  // views can never disagree. Returns false if any name was rejected (duplicate prefix).
+  bool RegisterMetrics(MetricRegistry* registry, const std::string& prefix = "transport");
+
  private:
   struct Reassembly {
     uint16_t frag_count = 0;
@@ -157,6 +165,10 @@ class SlimEndpoint {
     uint64_t last_nack_first = 0;     // start of the last range NACKed (0 = none yet)
     int nack_strikes = 0;             // consecutive NACKs of the same range without progress
     EventId nack_retry_event = kInvalidEventId;  // pending gate-expiry retry, if any
+    // When the sim-time tracer is active: when each missing seq was first noticed, so its
+    // resolution (replay arrival or give-up) can be emitted as a replay-stall span. Empty
+    // whenever tracing is off.
+    std::map<uint64_t, SimTime> missing_since;
   };
 
   // Per-peer duplicate suppression: the window of recently delivered seqs plus the floor —
@@ -167,6 +179,13 @@ class SlimEndpoint {
     std::set<uint64_t> seen;
     uint64_t floor = 0;
   };
+
+  // --- Sim-time tracing of the replay path (no-ops when Tracer::Global() is null) ---
+  // Records when `seq` entered the missing set, so ResolveMissing can emit a span.
+  void NoteMissing(PeerRecvState& state, uint64_t seq);
+  // Emits a "transport.replay_stall" span covering first-noticed -> now. `reason` is
+  // "replayed" (the gap was filled) or a give-up cause.
+  void ResolveMissing(PeerRecvState& state, uint64_t seq, const char* reason);
 
   void MaybeSendNack(NodeId peer, uint32_t session_id, PeerRecvState& state);
   // Schedules a MaybeSendNack retry for when the back-off gate reopens (single pending

@@ -1,0 +1,203 @@
+#include "src/obs/metrics.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace slim {
+
+namespace {
+
+// Largest value bucket i covers (bucket i holds values with bit_width i). The top bucket
+// also absorbs everything wider, so its edge is saturated rather than shifted into the
+// sign bit.
+int64_t BucketUpperBound(int i) {
+  if (i <= 0) {
+    return 0;
+  }
+  if (i >= 63) {
+    return INT64_MAX;
+  }
+  return (int64_t{1} << i) - 1;
+}
+
+}  // namespace
+
+void ExpHistogram::Record(int64_t value) {
+  const uint64_t magnitude = value > 0 ? static_cast<uint64_t>(value) : 0;
+  const int bucket = std::bit_width(magnitude);  // 0 for v <= 0, else floor(log2)+1
+  ++buckets_[bucket >= kBuckets ? kBuckets - 1 : bucket];
+  if (count_ == 0 || value < min_) {
+    min_ = value;
+  }
+  if (value > max_) {
+    max_ = value;
+  }
+  ++count_;
+  sum_ += value;
+}
+
+int64_t ExpHistogram::PercentileUpperBound(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  const double target = p * static_cast<double>(count_);
+  int64_t running = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    running += buckets_[i];
+    if (static_cast<double>(running) >= target) {
+      return BucketUpperBound(i);
+    }
+  }
+  return max_;
+}
+
+bool IsValidMetricName(std::string_view name) {
+  if (name.empty() || name.front() == '.' || name.back() == '.') {
+    return false;
+  }
+  bool has_dot = false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' || c == '.';
+    if (!ok) {
+      return false;
+    }
+    has_dot = has_dot || c == '.';
+  }
+  return has_dot;
+}
+
+bool MetricRegistry::Admit(const std::string& name, const char* kind_label) {
+  if (!IsValidMetricName(name)) {
+    std::fprintf(stderr, "[metrics] rejecting %s '%s': names must be subsystem.name style\n",
+                 kind_label, name.c_str());
+    return false;
+  }
+  if (entries_.count(name) > 0) {
+    std::fprintf(stderr, "[metrics] rejecting duplicate %s '%s'\n", kind_label, name.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool MetricRegistry::BindCounter(std::string name, const int64_t* cell) {
+  if (cell == nullptr || !Admit(name, "counter")) {
+    return false;
+  }
+  Entry entry;
+  entry.kind = Kind::kCounter;
+  entry.cell = cell;
+  entries_.emplace(std::move(name), std::move(entry));
+  return true;
+}
+
+int64_t* MetricRegistry::Counter(std::string name) {
+  if (!Admit(name, "counter")) {
+    return nullptr;
+  }
+  Entry entry;
+  entry.kind = Kind::kCounter;
+  entry.owned_cell = std::make_unique<int64_t>(0);
+  entry.cell = entry.owned_cell.get();
+  int64_t* cell = entry.owned_cell.get();
+  entries_.emplace(std::move(name), std::move(entry));
+  return cell;
+}
+
+bool MetricRegistry::BindGauge(std::string name, std::function<double()> read) {
+  if (!read || !Admit(name, "gauge")) {
+    return false;
+  }
+  Entry entry;
+  entry.kind = Kind::kGauge;
+  entry.read = std::move(read);
+  entries_.emplace(std::move(name), std::move(entry));
+  return true;
+}
+
+ExpHistogram* MetricRegistry::Histogram(std::string name) {
+  if (!Admit(name, "histogram")) {
+    return nullptr;
+  }
+  Entry entry;
+  entry.kind = Kind::kHistogram;
+  entry.histogram = std::make_unique<ExpHistogram>();
+  ExpHistogram* hist = entry.histogram.get();
+  entries_.emplace(std::move(name), std::move(entry));
+  return hist;
+}
+
+bool MetricRegistry::Contains(std::string_view name) const {
+  return entries_.find(name) != entries_.end();
+}
+
+std::optional<double> MetricRegistry::Value(std::string_view name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  switch (it->second.kind) {
+    case Kind::kCounter:
+      return static_cast<double>(*it->second.cell);
+    case Kind::kGauge:
+      return it->second.read();
+    case Kind::kHistogram:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<int64_t> MetricRegistry::CounterValue(std::string_view name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.kind != Kind::kCounter) {
+    return std::nullopt;
+  }
+  return *it->second.cell;
+}
+
+JsonValue MetricRegistry::Snapshot() const {
+  JsonObject counters;
+  JsonObject gauges;
+  JsonObject histograms;
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        counters.emplace_back(name, JsonValue(*entry.cell));
+        break;
+      case Kind::kGauge:
+        gauges.emplace_back(name, JsonValue(entry.read()));
+        break;
+      case Kind::kHistogram: {
+        const ExpHistogram& h = *entry.histogram;
+        JsonObject summary;
+        summary.emplace_back("count", JsonValue(h.count()));
+        summary.emplace_back("sum", JsonValue(h.sum()));
+        summary.emplace_back("min", JsonValue(h.min()));
+        summary.emplace_back("max", JsonValue(h.max()));
+        summary.emplace_back("mean", JsonValue(h.mean()));
+        summary.emplace_back("p50", JsonValue(h.PercentileUpperBound(0.5)));
+        summary.emplace_back("p99", JsonValue(h.PercentileUpperBound(0.99)));
+        // Sparse bucket list: [bucket_upper_bound, count] for nonzero buckets only.
+        JsonArray buckets;
+        for (int i = 0; i < ExpHistogram::kBuckets; ++i) {
+          if (h.buckets()[i] == 0) {
+            continue;
+          }
+          buckets.push_back(JsonValue(
+              JsonArray{JsonValue(BucketUpperBound(i)), JsonValue(h.buckets()[i])}));
+        }
+        summary.emplace_back("buckets", JsonValue(std::move(buckets)));
+        histograms.emplace_back(name, JsonValue(std::move(summary)));
+        break;
+      }
+    }
+  }
+  JsonObject root;
+  root.emplace_back("counters", JsonValue(std::move(counters)));
+  root.emplace_back("gauges", JsonValue(std::move(gauges)));
+  root.emplace_back("histograms", JsonValue(std::move(histograms)));
+  return JsonValue(std::move(root));
+}
+
+std::string MetricRegistry::SnapshotJson(int indent) const { return Snapshot().Dump(indent); }
+
+}  // namespace slim

@@ -1,5 +1,7 @@
 #include "src/server/session.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/server/slim_server.h"
 #include "src/util/check.h"
 #include "src/xproto/xcost.h"
@@ -14,6 +16,35 @@ ServerSession::ServerSession(SlimServer* server, uint32_t id, int32_t width, int
 
 Simulator* ServerSession::simulator() { return server_->simulator(); }
 
+bool ServerSession::RegisterMetrics(MetricRegistry* registry, const std::string& prefix) {
+  SLIM_CHECK(registry != nullptr);
+  bool ok = true;
+  ok = registry->BindCounter(prefix + ".commands_sent", &commands_sent_) && ok;
+  ok = registry->BindCounter(prefix + ".bytes_sent", &bytes_sent_) && ok;
+  ok = registry->BindGauge(prefix + ".render_ns",
+                           [this] { return static_cast<double>(render_time_); }) &&
+       ok;
+  ok = registry->BindGauge(prefix + ".encode_ns",
+                           [this] { return static_cast<double>(encode_time_); }) &&
+       ok;
+  ok = registry->BindGauge(prefix + ".wire_cpu_ns",
+                           [this] { return static_cast<double>(wire_time_); }) &&
+       ok;
+  // One counter block per display command type, mirroring EncodeStats field for field.
+  static constexpr const char* kTypeNames[6] = {nullptr, "set", "bitmap", "fill", "copy",
+                                                "cscs"};
+  for (int t = 1; t < 6; ++t) {
+    const std::string base = prefix + ".codec." + kTypeNames[t] + ".";
+    ok = registry->BindCounter(base + "commands", &encode_stats_[t].commands) && ok;
+    ok = registry->BindCounter(base + "wire_bytes", &encode_stats_[t].wire_bytes) && ok;
+    ok = registry->BindCounter(base + "uncompressed_bytes",
+                               &encode_stats_[t].uncompressed_bytes) &&
+         ok;
+    ok = registry->BindCounter(base + "pixels", &encode_stats_[t].pixels) && ok;
+  }
+  return ok;
+}
+
 void ServerSession::AttachConsole(NodeId console) {
   console_ = console;
   RepaintAll();
@@ -24,6 +55,24 @@ void ServerSession::DetachConsole() { console_ = kInvalidNode; }
 
 void ServerSession::DeliverInput(const Message& msg) {
   const SimTime now = server_->simulator()->now();
+  // Sim time does not advance during synchronous dispatch, so the stage decomposition is
+  // emitted as modeled-CPU-cost spans: the dispatch span ends at now + the CPU time this
+  // input charged, with render/encode/wire laid back-to-back inside it. Nested transport
+  // sends inherit the input_id, which is the join key against console-side decode spans
+  // (via their seq args).
+  Tracer* const tracer = Tracer::Global();
+  SimDuration render0 = 0;
+  SimDuration encode0 = 0;
+  SimDuration wire0 = 0;
+  if (tracer != nullptr) {
+    const int64_t input_id = tracer->NextInputId();
+    tracer->set_current_input(input_id);
+    tracer->Begin(now, "input.dispatch", "server", kTraceTidServer,
+                  {{"session", JsonValue(int64_t{id_})}});
+    render0 = render_time_;
+    encode0 = encode_time_;
+    wire0 = wire_time_;
+  }
   if (const auto* key = std::get_if<KeyEventMsg>(&msg.body)) {
     if (key->pressed) {
       log_.RecordInput(now, /*is_key=*/true);
@@ -38,6 +87,20 @@ void ServerSession::DeliverInput(const Message& msg) {
   }
   if (input_handler_) {
     input_handler_(msg);
+  }
+  if (tracer != nullptr) {
+    SimTime cursor = now;
+    const auto stage = [&](const char* name, SimDuration dur) {
+      if (dur > 0) {
+        tracer->Complete(cursor, dur, name, "server", kTraceTidServer, {});
+        cursor += dur;
+      }
+    };
+    stage("server.render", render_time_ - render0);
+    stage("server.encode", encode_time_ - encode0);
+    stage("server.wire_cpu", wire_time_ - wire0);
+    tracer->End(cursor, kTraceTidServer);
+    tracer->set_current_input(-1);
   }
 }
 
@@ -174,6 +237,7 @@ void ServerSession::EncodeDamageToPending() {
 
 void ServerSession::TransmitPending() {
   const SimTime now = server_->simulator()->now();
+  Encoder::Accumulate(pending_, encode_stats_);
   for (DisplayCommand& cmd : pending_) {
     const size_t bytes = WireSize(cmd);
     log_.RecordCommand(now, cmd);

@@ -24,6 +24,8 @@
 
 namespace slim {
 
+class MetricRegistry;
+
 // A 1-bit glyph image; the apps toolkit supplies these from its font.
 struct GlyphBitmap {
   int32_t width = 0;
@@ -85,6 +87,15 @@ class ServerSession {
   int64_t commands_sent() const { return commands_sent_; }
   int64_t bytes_sent() const { return bytes_sent_; }
 
+  // Per-command-type encoder output accumulated over everything this session transmitted,
+  // indexed by CommandType (slot 0 unused) — the same shape Encoder::Accumulate produces.
+  const EncodeStats* encode_stats() const { return encode_stats_; }
+
+  // Registers the session's counters, CPU-time gauges and per-command-type encoder
+  // counters (`<prefix>.codec.<type>.*`) with `registry`. Returns false if any name was
+  // rejected (duplicate prefix).
+  bool RegisterMetrics(MetricRegistry* registry, const std::string& prefix = "session");
+
  private:
   void QueueCommand(DisplayCommand cmd);
   void EncodeDamageToPending();
@@ -105,6 +116,7 @@ class ServerSession {
   SimDuration wire_time_ = 0;
   int64_t commands_sent_ = 0;
   int64_t bytes_sent_ = 0;
+  EncodeStats encode_stats_[6] = {};
 };
 
 }  // namespace slim

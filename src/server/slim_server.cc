@@ -1,5 +1,6 @@
 #include "src/server/slim_server.h"
 
+#include "src/obs/metrics.h"
 #include "src/util/check.h"
 
 namespace slim {
@@ -28,6 +29,14 @@ bool AuthenticationManager::Verify(uint64_t card_id) const {
   }
   ++accepted_;
   return true;
+}
+
+bool AuthenticationManager::RegisterMetrics(MetricRegistry* registry,
+                                            const std::string& prefix) {
+  SLIM_CHECK(registry != nullptr);
+  bool ok = registry->BindCounter(prefix + ".accepted", &accepted_);
+  ok = registry->BindCounter(prefix + ".rejected", &rejected_) && ok;
+  return ok;
 }
 
 void RemoteDeviceManager::DeviceAttached(NodeId console, uint32_t device_class) {
@@ -104,6 +113,18 @@ SimTime SlimServer::Transmit(NodeId console, uint32_t session_id, MessageBody bo
     endpoint_->Send(console, session_id, std::move(b));
   });
   return done;
+}
+
+bool SlimServer::RegisterMetrics(MetricRegistry* registry, const std::string& prefix) {
+  SLIM_CHECK(registry != nullptr);
+  bool ok = auth_.RegisterMetrics(registry, prefix + ".auth");
+  ok = registry->BindGauge(prefix + ".sessions",
+                           [this] { return static_cast<double>(sessions_.size()); }) &&
+       ok;
+  ok = registry->BindGauge(prefix + ".devices",
+                           [this] { return static_cast<double>(devices_.total_devices()); }) &&
+       ok;
+  return endpoint_->RegisterMetrics(registry, prefix + ".transport") && ok;
 }
 
 void SlimServer::OnMessage(const Message& msg, NodeId from) {

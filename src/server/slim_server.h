@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/net/fabric.h"
@@ -16,6 +17,8 @@
 #include "src/sim/simulator.h"
 
 namespace slim {
+
+class MetricRegistry;
 
 // Verifies smart-card identities. Cards must be registered before they authenticate; the
 // check is a keyed hash so that forged ids are rejected (a stand-in for the product's
@@ -30,6 +33,9 @@ class AuthenticationManager {
 
   int64_t accepted() const { return accepted_; }
   int64_t rejected() const { return rejected_; }
+
+  // Registers the accept/reject counters (`<prefix>.accepted`, `<prefix>.rejected`).
+  bool RegisterMetrics(MetricRegistry* registry, const std::string& prefix = "auth");
 
  private:
   uint64_t Sign(uint32_t user_number) const;
@@ -84,6 +90,12 @@ class SlimServer {
   // the optional busy-pipeline delay. Returns the simulated time at which the message left.
   SimTime Transmit(NodeId console, uint32_t session_id, MessageBody body,
                    SimDuration cpu_cost);
+
+  // Registers the server's daemons and transport endpoint with `registry`:
+  // `<prefix>.auth.*`, `<prefix>.sessions` / `<prefix>.devices` gauges, and
+  // `<prefix>.transport.*`. Sessions register themselves (per-session prefixes) via
+  // ServerSession::RegisterMetrics.
+  bool RegisterMetrics(MetricRegistry* registry, const std::string& prefix = "server");
 
  private:
   void OnMessage(const Message& msg, NodeId from);

@@ -62,7 +62,9 @@ double Histogram::InverseCdf(double fraction) const {
 std::string Histogram::CdfSeries(int max_points) const {
   std::string out;
   if (total_ == 0) {
-    return out;
+    // An empty histogram still emits one marker row so downstream gnuplot/awk pipelines see
+    // the series exists (an empty file is indistinguishable from a missing one).
+    return "# empty\n";
   }
   // Collect nonzero buckets first, then thin to at most max_points rows.
   std::vector<std::pair<double, double>> points;

@@ -35,6 +35,7 @@ class Histogram {
 
   // One sampled CDF point per row: "value<TAB>cumulative_fraction". Buckets with zero counts
   // are skipped so plots stay small. Used by the figure benches to emit paper-style series.
+  // A histogram with no samples yields the single marker line "# empty\n".
   std::string CdfSeries(int max_points = 64) const;
 
  private:

@@ -239,6 +239,13 @@ TEST(HistogramTest, CdfSeriesEndsAtOne) {
   EXPECT_NEAR(std::stod(series.substr(last_line + 1)), 1.0, 1e-6);
 }
 
+TEST(HistogramTest, CdfSeriesOfEmptyHistogramEmitsMarker) {
+  // An empty histogram must still produce one row so downstream gnuplot/awk pipelines can
+  // tell "series exists but is empty" apart from "series file missing".
+  Histogram h(0.0, 100.0, 1.0);
+  EXPECT_EQ(h.CdfSeries(16), "# empty\n");
+}
+
 TEST(TextTableTest, RendersAlignedColumns) {
   TextTable table({"name", "value"});
   table.AddRow({"alpha", "1"});

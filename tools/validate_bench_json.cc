@@ -1,0 +1,55 @@
+// Validates BENCH_*.json artifacts against the BenchReporter schema.
+//
+//   validate_bench_json FILE...
+//
+// Exits nonzero (listing every failure) if any file is unreadable, unparseable, or does
+// not conform. Used by the bench_smoke ctest target, which runs every harness at a tiny
+// scale and feeds the resulting reports through this binary — so a schema change that
+// forgets to update writer and validator together fails CI instead of silently producing
+// unparseable perf artifacts.
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "src/obs/bench_report.h"
+#include "src/obs/json.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s BENCH_file.json...\n", argv[0]);
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* path = argv[i];
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "FAIL %s: cannot open\n", path);
+      ++failures;
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    const std::optional<slim::JsonValue> doc = slim::JsonParse(buffer.str(), &error);
+    if (!doc) {
+      std::fprintf(stderr, "FAIL %s: json parse: %s\n", path, error.c_str());
+      ++failures;
+      continue;
+    }
+    if (const auto schema_error = slim::ValidateBenchReport(*doc)) {
+      std::fprintf(stderr, "FAIL %s: %s\n", path, schema_error->c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("ok %s\n", path);
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "%d of %d report(s) failed validation\n", failures, argc - 1);
+    return 1;
+  }
+  return 0;
+}
