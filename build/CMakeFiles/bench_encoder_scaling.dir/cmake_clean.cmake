@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_encoder_scaling.dir/bench/bench_encoder_scaling.cc.o"
+  "CMakeFiles/bench_encoder_scaling.dir/bench/bench_encoder_scaling.cc.o.d"
+  "bench/bench_encoder_scaling"
+  "bench/bench_encoder_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_encoder_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

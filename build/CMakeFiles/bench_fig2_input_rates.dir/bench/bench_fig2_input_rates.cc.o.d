@@ -225,12 +225,22 @@ CMakeFiles/bench_fig2_input_rates.dir/bench/bench_fig2_input_rates.cc.o: \
  /root/repo/src/fb/framebuffer.h /root/repo/src/fb/geometry.h \
  /root/repo/src/protocol/commands.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/color/yuv.h \
- /root/repo/src/net/fabric.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/rng.h \
- /root/repo/src/protocol/messages.h /root/repo/src/server/cpu_model.h \
- /root/repo/src/trace/protocol_log.h /root/repo/src/console/console.h \
- /root/repo/src/console/bandwidth.h /root/repo/src/console/cost_model.h \
- /root/repo/src/net/transport.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/codec/parallel.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/net/fabric.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/util/rng.h /root/repo/src/protocol/messages.h \
+ /root/repo/src/server/cpu_model.h /root/repo/src/trace/protocol_log.h \
+ /root/repo/src/console/console.h /root/repo/src/console/bandwidth.h \
+ /root/repo/src/console/cost_model.h /root/repo/src/net/transport.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/util/histogram.h \
  /root/repo/src/util/table.h

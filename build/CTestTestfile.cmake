@@ -5,7 +5,7 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 add_test(bench_smoke "/usr/bin/cmake" "-DBENCH_DIR=/root/repo/build/bench" "-DVALIDATOR=/root/repo/build/validate_bench_json" "-DOUT_DIR=/root/repo/build/bench_smoke" "-P" "/root/repo/cmake/bench_smoke.cmake")
-set_tests_properties(bench_smoke PROPERTIES  TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;55;add_test;/root/repo/CMakeLists.txt;0;")
+set_tests_properties(bench_smoke PROPERTIES  TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;68;add_test;/root/repo/CMakeLists.txt;0;")
 subdirs("src")
 subdirs("tests")
 subdirs("examples")

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/apps/font.cc" "src/CMakeFiles/slim.dir/apps/font.cc.o" "gcc" "src/CMakeFiles/slim.dir/apps/font.cc.o.d"
   "/root/repo/src/codec/decoder.cc" "src/CMakeFiles/slim.dir/codec/decoder.cc.o" "gcc" "src/CMakeFiles/slim.dir/codec/decoder.cc.o.d"
   "/root/repo/src/codec/encoder.cc" "src/CMakeFiles/slim.dir/codec/encoder.cc.o" "gcc" "src/CMakeFiles/slim.dir/codec/encoder.cc.o.d"
+  "/root/repo/src/codec/parallel.cc" "src/CMakeFiles/slim.dir/codec/parallel.cc.o" "gcc" "src/CMakeFiles/slim.dir/codec/parallel.cc.o.d"
   "/root/repo/src/color/yuv.cc" "src/CMakeFiles/slim.dir/color/yuv.cc.o" "gcc" "src/CMakeFiles/slim.dir/color/yuv.cc.o.d"
   "/root/repo/src/console/bandwidth.cc" "src/CMakeFiles/slim.dir/console/bandwidth.cc.o" "gcc" "src/CMakeFiles/slim.dir/console/bandwidth.cc.o.d"
   "/root/repo/src/console/console.cc" "src/CMakeFiles/slim.dir/console/console.cc.o" "gcc" "src/CMakeFiles/slim.dir/console/console.cc.o.d"

@@ -298,12 +298,22 @@ tests/CMakeFiles/apps_test.dir/apps_test.cc.o: \
  /usr/include/c++/12/span /root/repo/src/codec/encoder.h \
  /root/repo/src/fb/framebuffer.h /root/repo/src/fb/geometry.h \
  /root/repo/src/protocol/commands.h /root/repo/src/color/yuv.h \
- /root/repo/src/net/fabric.h /root/repo/src/sim/simulator.h \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/time.h \
- /root/repo/src/util/rng.h /root/repo/src/protocol/messages.h \
- /root/repo/src/server/cpu_model.h /root/repo/src/trace/protocol_log.h \
- /root/repo/src/apps/content.h /root/repo/src/console/console.h \
- /root/repo/src/console/bandwidth.h /root/repo/src/console/cost_model.h \
- /root/repo/src/net/transport.h /root/repo/src/server/slim_server.h
+ /root/repo/src/codec/parallel.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/net/fabric.h \
+ /root/repo/src/sim/simulator.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/util/time.h /root/repo/src/util/rng.h \
+ /root/repo/src/protocol/messages.h /root/repo/src/server/cpu_model.h \
+ /root/repo/src/trace/protocol_log.h /root/repo/src/apps/content.h \
+ /root/repo/src/console/console.h /root/repo/src/console/bandwidth.h \
+ /root/repo/src/console/cost_model.h /root/repo/src/net/transport.h \
+ /root/repo/src/server/slim_server.h

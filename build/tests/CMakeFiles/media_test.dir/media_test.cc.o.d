@@ -305,5 +305,14 @@ tests/CMakeFiles/media_test.dir/media_test.cc.o: \
  /root/repo/src/protocol/messages.h /root/repo/src/quake/raycaster.h \
  /root/repo/src/server/slim_server.h /root/repo/src/server/cpu_model.h \
  /root/repo/src/server/session.h /root/repo/src/codec/encoder.h \
- /root/repo/src/trace/protocol_log.h /root/repo/src/video/pipeline.h \
- /root/repo/src/video/video_source.h
+ /root/repo/src/codec/parallel.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/trace/protocol_log.h \
+ /root/repo/src/video/pipeline.h /root/repo/src/video/video_source.h

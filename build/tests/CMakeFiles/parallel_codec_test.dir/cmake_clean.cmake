@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_codec_test.dir/parallel_codec_test.cc.o"
+  "CMakeFiles/parallel_codec_test.dir/parallel_codec_test.cc.o.d"
+  "parallel_codec_test"
+  "parallel_codec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -293,6 +293,9 @@ tests/CMakeFiles/property_test.dir/property_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/apps/content.h /root/repo/src/fb/framebuffer.h \
  /usr/include/c++/12/span /root/repo/src/fb/geometry.h \
  /root/repo/src/util/rng.h /root/repo/src/codec/decoder.h \
@@ -305,4 +308,13 @@ tests/CMakeFiles/property_test.dir/property_test.cc.o: \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/net/transport.h /root/repo/src/protocol/messages.h \
  /root/repo/src/server/slim_server.h /root/repo/src/server/cpu_model.h \
- /root/repo/src/server/session.h /root/repo/src/trace/protocol_log.h
+ /root/repo/src/server/session.h /root/repo/src/codec/parallel.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/trace/protocol_log.h

@@ -46,6 +46,7 @@ Encoder::Encoder(EncoderOptions options) : options_(options) {
   SLIM_CHECK(options_.band_height > 0);
   SLIM_CHECK(options_.chunk_width > 0);
   SLIM_CHECK(options_.max_set_pixels > 0);
+  SLIM_CHECK(options_.threads > 0);
 }
 
 std::vector<DisplayCommand> Encoder::EncodeDamage(const Framebuffer& fb,
@@ -60,13 +61,23 @@ std::vector<DisplayCommand> Encoder::EncodeDamage(const Framebuffer& fb,
 void Encoder::EncodeRect(const Framebuffer& fb, const Rect& rect,
                          std::vector<DisplayCommand>* out) const {
   SLIM_DCHECK(out != nullptr);
+  std::vector<Rect> bands;
+  AppendBands(fb, rect, &bands);
+  for (const Rect& band : bands) {
+    EncodeBand(fb, band, out);
+  }
+}
+
+void Encoder::AppendBands(const Framebuffer& fb, const Rect& rect,
+                          std::vector<Rect>* out) const {
+  SLIM_DCHECK(out != nullptr);
   const Rect clipped = Intersect(rect, fb.bounds());
   if (clipped.empty()) {
     return;
   }
   for (int32_t y = clipped.y; y < clipped.bottom(); y += options_.band_height) {
     const int32_t bh = std::min(options_.band_height, clipped.bottom() - y);
-    EncodeBand(fb, Rect{clipped.x, y, clipped.w, bh}, out);
+    out->push_back(Rect{clipped.x, y, clipped.w, bh});
   }
 }
 
@@ -188,35 +199,51 @@ void Encoder::EmitBitmap(const Framebuffer& fb, const Rect& rect, Pixel bg, Pixe
 
 void Encoder::Accumulate(const std::vector<DisplayCommand>& cmds, EncodeStats stats[6]) {
   for (const DisplayCommand& cmd : cmds) {
-    EncodeStats& slot = stats[static_cast<size_t>(TypeOf(cmd))];
-    slot.commands += 1;
-    slot.wire_bytes += static_cast<int64_t>(WireSize(cmd));
-    slot.uncompressed_bytes += UncompressedBytes(cmd);
-    slot.pixels += AffectedPixels(cmd);
+    AccumulateOne(TypeOf(cmd), WireSize(cmd), UncompressedBytes(cmd), AffectedPixels(cmd),
+                  stats);
   }
+}
+
+void Encoder::AccumulateOne(CommandType type, size_t wire_bytes, int64_t uncompressed_bytes,
+                            int64_t pixels, EncodeStats stats[6]) {
+  const size_t index = static_cast<size_t>(type);
+  SLIM_CHECK(index >= 1 && index < 6);
+  EncodeStats& slot = stats[index];
+  slot.commands += 1;
+  slot.wire_bytes += static_cast<int64_t>(wire_bytes);
+  slot.uncompressed_bytes += uncompressed_bytes;
+  slot.pixels += pixels;
 }
 
 int32_t DetectVerticalScroll(const Framebuffer& before, const Framebuffer& after,
                              const Rect& rect, int32_t max_shift) {
   const Rect r = Intersect(rect, after.bounds());
-  if (r.empty() || r.h < 8) {
+  // Rects narrower or shorter than 8 pixels carry too few independent probe columns/rows
+  // for the sparse check to mean anything (and a "scroll" of a sliver saves nothing), so
+  // both dimensions are guarded, not just the height.
+  if (r.empty() || r.h < 8 || r.w < 8) {
     return 0;
   }
-  // Sample a sparse grid of probe points; a shift must explain nearly all of them.
+  // Sample a sparse grid of probe points; a shift must explain nearly all of them. The
+  // probe count is clamped to the rect so integer-division positions never collapse onto
+  // duplicate columns/rows: with probes <= extent the stride is at least one pixel, and a
+  // duplicated probe would count the same pixel twice, inflating the grid's confidence.
   constexpr int32_t kProbesX = 16;
   constexpr int32_t kProbesY = 16;
+  const int32_t probes_x = std::min(kProbesX, r.w);
+  const int32_t probes_y = std::min(kProbesY, r.h);
   for (int32_t magnitude = 1; magnitude <= max_shift; ++magnitude) {
     for (const int32_t dy : {-magnitude, magnitude}) {
       int matches = 0;
       int probes = 0;
-      for (int32_t py = 0; py < kProbesY; ++py) {
-        const int32_t y = r.y + static_cast<int64_t>(py) * r.h / kProbesY;
+      for (int32_t py = 0; py < probes_y; ++py) {
+        const int32_t y = r.y + static_cast<int64_t>(py) * r.h / probes_y;
         const int32_t sy = y - dy;
         if (sy < r.y || sy >= r.bottom()) {
           continue;
         }
-        for (int32_t px = 0; px < kProbesX; ++px) {
-          const int32_t x = r.x + static_cast<int64_t>(px) * r.w / kProbesX;
+        for (int32_t px = 0; px < probes_x; ++px) {
+          const int32_t x = r.x + static_cast<int64_t>(px) * r.w / probes_x;
           ++probes;
           if (after.GetPixel(x, y) == before.GetPixel(x, sy)) {
             ++matches;

@@ -32,6 +32,11 @@ struct EncoderOptions {
   // Maximum pixels in one SET command; larger regions are split so that commands stay below
   // the transport's reassembly limits and the console can interleave other flows.
   int64_t max_set_pixels = 128 * 1024;
+
+  // Worker threads for damage encoding. 1 = serial (encode on the calling thread, no pool);
+  // >1 enables EncoderPool (src/codec/parallel.h), which splits damage into bands and
+  // encodes them concurrently with bit-identical output for every thread count.
+  int threads = 1;
 };
 
 // Statistics the encoder keeps per command type; the Figure 4 harness reads these.
@@ -40,6 +45,8 @@ struct EncodeStats {
   int64_t wire_bytes = 0;          // bytes on the wire, headers included
   int64_t uncompressed_bytes = 0;  // 3 bytes per affected pixel
   int64_t pixels = 0;
+
+  bool operator==(const EncodeStats&) const = default;
 };
 
 class Encoder {
@@ -57,14 +64,28 @@ class Encoder {
   void EncodeRect(const Framebuffer& fb, const Rect& rect,
                   std::vector<DisplayCommand>* out) const;
 
+  // Appends the band decomposition EncodeRect analyzes for `rect` (clipped to fb bounds) to
+  // out. This is the unit of work the parallel path distributes: encoding the bands of a
+  // damage region in order with EncodeBand produces exactly EncodeDamage's command stream,
+  // because bands are analyzed independently (no cross-band encoder state).
+  void AppendBands(const Framebuffer& fb, const Rect& rect, std::vector<Rect>* out) const;
+
+  // Encodes one band (as produced by AppendBands). Thread-safe: only reads options_ and fb.
+  void EncodeBand(const Framebuffer& fb, const Rect& band,
+                  std::vector<DisplayCommand>* out) const;
+
   // Accumulates per-type stats for a command list into a 6-slot array indexed by
   // CommandType (slot 0 unused).
   static void Accumulate(const std::vector<DisplayCommand>& cmds,
                          EncodeStats stats[6]);
 
+  // One row of Accumulate: range-checked slot update shared by the serial and parallel
+  // accumulation paths. Aborts on a command type outside the wire enum — a malformed type
+  // (e.g. decoded from a corrupted stream) must not index out of bounds.
+  static void AccumulateOne(CommandType type, size_t wire_bytes, int64_t uncompressed_bytes,
+                            int64_t pixels, EncodeStats stats[6]);
+
  private:
-  void EncodeBand(const Framebuffer& fb, const Rect& band,
-                  std::vector<DisplayCommand>* out) const;
   void EmitSet(const Framebuffer& fb, const Rect& rect, std::vector<DisplayCommand>* out) const;
   void EmitBitmap(const Framebuffer& fb, const Rect& rect, Pixel bg, Pixel fg,
                   std::vector<DisplayCommand>* out) const;
@@ -74,7 +95,8 @@ class Encoder {
 
 // Searches for a vertical scroll between `before` and `after` restricted to `rect`: a dy in
 // [-max_shift, max_shift] such that after(x, y) == before(x, y - dy) for most of the rect.
-// Returns 0 when none is found. Used by the encoder-level scroll-detection ablation.
+// Returns 0 when none is found, and always 0 for rects narrower or shorter than 8 pixels —
+// too small for the sparse probe grid to distinguish a scroll from coincidence.
 int32_t DetectVerticalScroll(const Framebuffer& before, const Framebuffer& after,
                              const Rect& rect, int32_t max_shift);
 

@@ -1,0 +1,158 @@
+#include "src/codec/parallel.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/check.h"
+
+namespace slim {
+
+int EncodeThreadsFromEnv(int fallback) {
+  const char* value = std::getenv("SLIM_ENCODE_THREADS");
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < 1 || parsed > 1024) {
+    std::fprintf(stderr,
+                 "[env] SLIM_ENCODE_THREADS='%s' is not a thread count in [1, 1024]; "
+                 "using default %d\n",
+                 value, fallback);
+    return fallback;
+  }
+  return static_cast<int>(parsed);
+}
+
+void MergeEncodeStats(const EncodeStats from[6], EncodeStats into[6]) {
+  for (int t = 0; t < 6; ++t) {
+    into[t].commands += from[t].commands;
+    into[t].wire_bytes += from[t].wire_bytes;
+    into[t].uncompressed_bytes += from[t].uncompressed_bytes;
+    into[t].pixels += from[t].pixels;
+  }
+}
+
+EncoderPool::EncoderPool(EncoderOptions options)
+    : encoder_(options), threads_(std::max(1, options.threads)) {
+  workers_.reserve(static_cast<size_t>(threads_ - 1));
+  for (int i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+EncoderPool::~EncoderPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void EncoderPool::RunShard(const Framebuffer& fb, const std::vector<Rect>& bands,
+                           std::vector<std::vector<DisplayCommand>>* slots,
+                           EncodeStats local[6]) {
+  while (true) {
+    const size_t i = next_band_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= bands.size()) {
+      return;
+    }
+    std::vector<DisplayCommand>& slot = (*slots)[i];
+    encoder_.EncodeBand(fb, bands[i], &slot);
+    Encoder::Accumulate(slot, local);
+  }
+}
+
+void EncoderPool::WorkerLoop() {
+  uint64_t seen = 0;
+  while (true) {
+    const Framebuffer* fb = nullptr;
+    const std::vector<Rect>* bands = nullptr;
+    std::vector<std::vector<DisplayCommand>>* slots = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) {
+        return;
+      }
+      seen = generation_;
+      fb = job_fb_;
+      bands = job_bands_;
+      slots = job_slots_;
+    }
+    EncodeStats local[6] = {};
+    RunShard(*fb, *bands, slots, local);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      MergeEncodeStats(local, job_stats_);
+      ++checked_in_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+std::vector<DisplayCommand> EncoderPool::EncodeDamage(const Framebuffer& fb,
+                                                      const Region& damage,
+                                                      EncodeStats merged[6]) {
+  std::vector<Rect> bands;
+  for (const Rect& r : damage.rects()) {
+    encoder_.AppendBands(fb, r, &bands);
+  }
+
+  std::vector<DisplayCommand> out;
+  if (workers_.empty() || bands.size() <= 1) {
+    // Serial path: the calling thread is the only worker, so encode in band order directly.
+    for (const Rect& band : bands) {
+      encoder_.EncodeBand(fb, band, &out);
+    }
+    if (merged != nullptr) {
+      Encoder::Accumulate(out, merged);
+    }
+    return out;
+  }
+
+  std::vector<std::vector<DisplayCommand>> slots(bands.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_fb_ = &fb;
+    job_bands_ = &bands;
+    job_slots_ = &slots;
+    next_band_.store(0, std::memory_order_relaxed);
+    checked_in_ = 0;
+    std::fill(job_stats_, job_stats_ + 6, EncodeStats{});
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The caller works the queue too, then waits for every worker to check in. Waiting for
+  // all workers (not just for the queue to drain) guarantees no worker still reads the
+  // stack-owned job state when this frame returns.
+  EncodeStats local[6] = {};
+  RunShard(fb, bands, &slots, local);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    MergeEncodeStats(local, job_stats_);
+    done_cv_.wait(lock, [&] { return checked_in_ == workers_.size(); });
+    if (merged != nullptr) {
+      MergeEncodeStats(job_stats_, merged);
+    }
+  }
+
+  size_t total = 0;
+  for (const std::vector<DisplayCommand>& slot : slots) {
+    total += slot.size();
+  }
+  out.reserve(total);
+  for (std::vector<DisplayCommand>& slot : slots) {
+    for (DisplayCommand& cmd : slot) {
+      out.push_back(std::move(cmd));
+    }
+  }
+  return out;
+}
+
+}  // namespace slim

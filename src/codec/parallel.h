@@ -1,0 +1,95 @@
+// Band-parallel damage encoding.
+//
+// The paper's SMP scaling results (Section 6.2, Figure 10) rely on the server spending its
+// cycles where they parallelize; in this reproduction the real hot path is
+// Encoder::EncodeDamage, which analyzes every damaged pixel. EncoderPool makes that path
+// scale with cores: damage is split into the same per-band work items the serial encoder
+// analyzes (Encoder::AppendBands), bands are encoded concurrently by a persistent worker
+// pool, and the per-band command lists are concatenated in band order.
+//
+// Determinism contract: for any thread count, EncodeDamage returns a command stream
+// byte-identical to Encoder::EncodeDamage, and the merged EncodeStats equal the serial
+// accumulation. This holds because bands are analyzed independently in the serial encoder
+// too (no cross-band state), the band list is built identically, and merge order is band
+// order — scheduling affects only who encodes a band, never what it produces or where it
+// lands. The equivalence is property-tested in tests/parallel_codec_test.cc.
+//
+// Threading contract: workers touch only their own scratch EncodeStats and their claimed
+// band slots; merged stats are written on the calling thread after all workers check in.
+// Callers that expose stats cells to MetricRegistry therefore keep the registry's
+// "owning-thread writes only" rule (src/obs/metrics.h). A pool runs one EncodeDamage at a
+// time (it is not reentrant); each ServerSession owns its own pool.
+
+#ifndef SRC_CODEC_PARALLEL_H_
+#define SRC_CODEC_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/codec/encoder.h"
+
+namespace slim {
+
+// Resolves the encode thread count: SLIM_ENCODE_THREADS when set to a valid positive
+// integer (warning on stderr for garbage), otherwise `fallback`. Silent when unset, so the
+// common no-override path does not spam benchmark output.
+int EncodeThreadsFromEnv(int fallback);
+
+// Adds `from` into `into` field by field (the join-time merge of worker-local scratch).
+void MergeEncodeStats(const EncodeStats from[6], EncodeStats into[6]);
+
+class EncoderPool {
+ public:
+  // Spawns options.threads - 1 persistent workers; the calling thread is the remaining
+  // worker, so threads == 1 degenerates to the serial encoder with no synchronization.
+  explicit EncoderPool(EncoderOptions options);
+  ~EncoderPool();
+  EncoderPool(const EncoderPool&) = delete;
+  EncoderPool& operator=(const EncoderPool&) = delete;
+
+  int threads() const { return threads_; }
+  const Encoder& encoder() const { return encoder_; }
+
+  // Encodes damage bit-identically to encoder().EncodeDamage(fb, damage). When `merged` is
+  // non-null, the per-command-type stats of the returned commands are accumulated into it
+  // (equal to Encoder::Accumulate over the result) — workers accumulate into worker-local
+  // scratch and the sum lands in `merged` on the calling thread.
+  std::vector<DisplayCommand> EncodeDamage(const Framebuffer& fb, const Region& damage,
+                                           EncodeStats merged[6] = nullptr);
+
+ private:
+  void WorkerLoop();
+  // Claims band indices until the queue drains; returns after encoding its share into the
+  // per-band slots and accumulating into `local`.
+  void RunShard(const Framebuffer& fb, const std::vector<Rect>& bands,
+                std::vector<std::vector<DisplayCommand>>* slots, EncodeStats local[6]);
+
+  const Encoder encoder_;
+  const int threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait here for a new generation
+  std::condition_variable done_cv_;  // the caller waits here for worker check-ins
+  bool stop_ = false;
+  uint64_t generation_ = 0;  // bumped per EncodeDamage; guarded by mu_
+
+  // Job state for the active generation. Written by the caller under mu_ before the
+  // generation bump; workers copy the pointers under mu_ when they wake. The caller does
+  // not return until every worker has checked in, so the pointees outlive all readers.
+  const Framebuffer* job_fb_ = nullptr;
+  const std::vector<Rect>* job_bands_ = nullptr;
+  std::vector<std::vector<DisplayCommand>>* job_slots_ = nullptr;
+  std::atomic<size_t> next_band_{0};
+  size_t checked_in_ = 0;          // workers finished this generation; guarded by mu_
+  EncodeStats job_stats_[6] = {};  // worker-local scratch merged here; guarded by mu_
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace slim
+
+#endif  // SRC_CODEC_PARALLEL_H_

@@ -10,8 +10,11 @@
 // directly (`++stats_.nacks_sent` compiles to the same instruction it always did); the
 // registry only holds *pointers* to those cells and reads them at snapshot time. Gauges are
 // pull-mode callbacks, also evaluated only at snapshot time. Histograms bucket by
-// power-of-two, so a Record() is a clz plus two adds. Nothing locks: the simulation is
-// single-threaded by design.
+// power-of-two, so a Record() is a clz plus two adds. Nothing locks: every registered cell
+// is written only from the thread that owns its subsystem (the simulation thread). Code
+// that fans work out to real threads — the band-parallel encoder in src/codec/parallel.h —
+// must accumulate into worker-local scratch and merge on the owning thread before the
+// result reaches a registered cell; snapshots then never race with writes.
 
 #ifndef SRC_OBS_METRICS_H_
 #define SRC_OBS_METRICS_H_

@@ -12,6 +12,9 @@ ServerSession::ServerSession(SlimServer* server, uint32_t id, int32_t width, int
                              EncoderOptions encoder_options)
     : server_(server), id_(id), fb_(width, height), encoder_(encoder_options) {
   SLIM_CHECK(server != nullptr);
+  if (encoder_options.threads > 1) {
+    pool_ = std::make_unique<EncoderPool>(encoder_options);
+  }
 }
 
 Simulator* ServerSession::simulator() { return server_->simulator(); }
@@ -225,7 +228,8 @@ void ServerSession::EncodeDamageToPending() {
     return;
   }
   damage_.Coalesce(64);
-  std::vector<DisplayCommand> cmds = encoder_.EncodeDamage(fb_, damage_);
+  std::vector<DisplayCommand> cmds = pool_ != nullptr ? pool_->EncodeDamage(fb_, damage_)
+                                                      : encoder_.EncodeDamage(fb_, damage_);
   int64_t pixels = 0;
   for (auto& cmd : cmds) {
     pixels += AffectedPixels(cmd);

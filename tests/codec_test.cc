@@ -307,6 +307,51 @@ TEST(ScrollDetectTest, FindsPureVerticalScroll) {
   EXPECT_EQ(dy, -16);
 }
 
+TEST(ScrollDetectTest, NarrowRectNeverFalsePositives) {
+  // Regression: the width guard was missing, so a sliver of vertically-uniform stripes
+  // (every column constant) "scrolled" by any dy — the sparse probe grid collapsed its 16
+  // probe columns onto a handful of duplicates that all matched, and the interior confirm
+  // also passes on vertically-uniform content. A 4-wide rect must return no scroll.
+  Framebuffer before(4, 64);
+  for (int32_t x = 0; x < 4; ++x) {
+    before.Fill(Rect{x, 0, 1, 64}, MakePixel(static_cast<uint8_t>(40 * x), 10, 200));
+  }
+  const Framebuffer after = before;  // nothing moved
+  EXPECT_EQ(DetectVerticalScroll(before, after, before.bounds(), 8), 0);
+  // Same for a narrow sub-rect of a wide framebuffer.
+  Framebuffer wide_before(64, 64);
+  for (int32_t x = 0; x < 64; ++x) {
+    wide_before.Fill(Rect{x, 0, 1, 64}, MakePixel(static_cast<uint8_t>(4 * x), 0, 0));
+  }
+  const Framebuffer wide_after = wide_before;
+  EXPECT_EQ(DetectVerticalScroll(wide_before, wide_after, Rect{10, 0, 5, 64}, 8), 0);
+}
+
+TEST(ScrollDetectTest, FindsScrollOnRectNarrowerThanProbeGrid) {
+  // 12 columns < the 16-probe grid: the probe stride must clamp to distinct columns and
+  // still find a genuine scroll.
+  Rng rng(23);
+  Framebuffer before(12, 120);
+  before.SetPixels(before.bounds(), MakePhotoBlock(&rng, 12, 120));
+  Framebuffer after = before;
+  after.CopyRect(0, 5, Rect{0, 0, 12, 115});  // scrolled up by 5
+  after.Fill(Rect{0, 115, 12, 5}, kWhite);
+  EXPECT_EQ(DetectVerticalScroll(before, after, Rect{0, 0, 12, 115}, 16), -5);
+}
+
+TEST(EncoderTest, AccumulateAbortsOnInvalidCommandType) {
+  // A command type outside the wire enum (e.g. decoded from a corrupted stream) must trip
+  // the range check instead of indexing out of the 6-slot stats array.
+  EncodeStats stats[6] = {};
+  EXPECT_DEATH_IF_SUPPORTED(
+      Encoder::AccumulateOne(static_cast<CommandType>(9), 16, 3, 1, stats), "check failed");
+  EXPECT_DEATH_IF_SUPPORTED(
+      Encoder::AccumulateOne(static_cast<CommandType>(0), 16, 3, 1, stats), "check failed");
+  // Valid types land in their slot.
+  Encoder::AccumulateOne(CommandType::kFill, 40, 300, 100, stats);
+  EXPECT_EQ(stats[static_cast<size_t>(CommandType::kFill)].pixels, 100);
+}
+
 TEST(ScrollDetectTest, NoScrollReturnsZero) {
   Rng rng(22);
   Framebuffer before(64, 64);

@@ -1,0 +1,220 @@
+// The parallel encoding determinism contract (src/codec/parallel.h): for every thread
+// count, EncoderPool::EncodeDamage must produce a command stream byte-identical to the
+// serial Encoder and merged EncodeStats identical to the serial accumulation, over
+// randomized framebuffers, damage shapes, and encoder options. The parallel_codec_test
+// ctest entry runs this suite as-is; the 4-thread entry re-runs it with
+// SLIM_ENCODE_THREADS=4 (picked up below and by SlimServer), which is what the tsan
+// preset leans on to catch data races in CI.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/apps/content.h"
+#include "src/codec/decoder.h"
+#include "src/codec/parallel.h"
+#include "src/console/console.h"
+#include "src/net/fabric.h"
+#include "src/server/slim_server.h"
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+
+namespace slim {
+namespace {
+
+// The sweep always covers {1, 2, 4, 8}; an SLIM_ENCODE_THREADS override outside that set
+// (e.g. from the CI ctest entry or a soak run) is added rather than replacing it.
+std::vector<int> ThreadCounts() {
+  std::vector<int> counts{1, 2, 4, 8};
+  const int env = EncodeThreadsFromEnv(1);
+  if (std::find(counts.begin(), counts.end(), env) == counts.end()) {
+    counts.push_back(env);
+  }
+  return counts;
+}
+
+// Paints a randomized mix of fills, bicolor patches, and photo blocks and returns the
+// damage the mutations covered.
+Region MutateRandomly(Framebuffer* fb, Rng* rng, int mutations) {
+  Region damage;
+  for (int i = 0; i < mutations; ++i) {
+    const Rect r{static_cast<int32_t>(rng->NextBelow(static_cast<uint64_t>(fb->width()))),
+                 static_cast<int32_t>(rng->NextBelow(static_cast<uint64_t>(fb->height()))),
+                 2 + static_cast<int32_t>(rng->NextBelow(70)),
+                 2 + static_cast<int32_t>(rng->NextBelow(60))};
+    const Rect clipped = Intersect(r, fb->bounds());
+    if (clipped.empty()) {
+      continue;
+    }
+    switch (rng->NextBelow(3)) {
+      case 0:
+        fb->Fill(clipped, static_cast<Pixel>(rng->NextU64() & 0xffffff));
+        break;
+      case 1:
+        for (int32_t y = clipped.y; y < clipped.bottom(); ++y) {
+          for (int32_t x = clipped.x; x < clipped.right(); ++x) {
+            fb->PutPixel(x, y, ((x + y) & 1) ? kWhite : kBlack);
+          }
+        }
+        break;
+      default:
+        fb->SetPixels(clipped, MakePhotoBlock(rng, clipped.w, clipped.h));
+        break;
+    }
+    damage.Add(clipped);
+  }
+  return damage;
+}
+
+class ParallelEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelEquivalence, PoolMatchesSerialForEveryThreadCount) {
+  Rng rng(4000 + static_cast<uint64_t>(GetParam()));
+  EncoderOptions options;
+  // Vary the analysis granularity too, so band/chunk edges move across seeds.
+  options.band_height = 8 << rng.NextBelow(3);  // 8, 16, 32
+  options.chunk_width = 16 << rng.NextBelow(3);
+  Framebuffer fb(251, 173);  // deliberately not band aligned
+  fb.Fill(fb.bounds(), MakePixel(25, 35, 45));
+  const Region damage = MutateRandomly(&fb, &rng, 10);
+
+  const Encoder serial(options);
+  const std::vector<DisplayCommand> expected = serial.EncodeDamage(fb, damage);
+  EncodeStats expected_stats[6] = {};
+  Encoder::Accumulate(expected, expected_stats);
+
+  for (const int threads : ThreadCounts()) {
+    EncoderOptions threaded = options;
+    threaded.threads = threads;
+    EncoderPool pool(threaded);
+    EXPECT_EQ(pool.threads(), threads);
+    EncodeStats merged[6] = {};
+    const std::vector<DisplayCommand> got = pool.EncodeDamage(fb, damage, merged);
+    ASSERT_EQ(got.size(), expected.size()) << "threads=" << threads;
+    for (size_t i = 0; i < got.size(); ++i) {
+      // DisplayCommand equality is deep (payload bytes included), so this is the
+      // bit-identical-stream check.
+      ASSERT_TRUE(got[i] == expected[i]) << "threads=" << threads << " command " << i;
+    }
+    for (int t = 0; t < 6; ++t) {
+      EXPECT_EQ(merged[t], expected_stats[t]) << "threads=" << threads << " type " << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomizedContent, ParallelEquivalence, ::testing::Range(0, 12));
+
+TEST(ParallelCodecTest, RepeatedEncodesOnOnePoolStayIdentical) {
+  // The pool is persistent; its generation protocol must not leak state across calls.
+  Rng rng(99);
+  EncoderOptions options;
+  options.threads = 4;
+  EncoderPool pool(options);
+  Framebuffer fb(320, 200);
+  for (int round = 0; round < 5; ++round) {
+    const Region damage = MutateRandomly(&fb, &rng, 6);
+    const std::vector<DisplayCommand> expected = pool.encoder().EncodeDamage(fb, damage);
+    const std::vector<DisplayCommand> got = pool.EncodeDamage(fb, damage);
+    ASSERT_EQ(got.size(), expected.size()) << "round " << round;
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_TRUE(got[i] == expected[i]) << "round " << round << " command " << i;
+    }
+  }
+}
+
+TEST(ParallelCodecTest, PoolOutputRoundTripsThroughDecoder) {
+  Rng rng(123);
+  EncoderOptions options;
+  options.threads = 8;
+  EncoderPool pool(options);
+  Framebuffer before(200, 150);
+  before.SetPixels(before.bounds(), MakePhotoBlock(&rng, 200, 150));
+  Framebuffer after = before;
+  const Region damage = MutateRandomly(&after, &rng, 8);
+  Framebuffer replica = before;
+  for (const DisplayCommand& cmd : pool.EncodeDamage(after, damage)) {
+    ASSERT_TRUE(ValidateCommand(cmd));
+    ASSERT_TRUE(ApplyCommand(cmd, &replica));
+  }
+  EXPECT_EQ(replica.ContentHash(), after.ContentHash());
+}
+
+TEST(ParallelCodecTest, SingleThreadPoolIsPlainSerialEncode) {
+  EncoderOptions options;  // threads = 1
+  EncoderPool pool(options);
+  EXPECT_EQ(pool.threads(), 1);
+  Framebuffer fb(64, 64, MakePixel(1, 2, 3));
+  EncodeStats merged[6] = {};
+  const auto cmds = pool.EncodeDamage(fb, Region(fb.bounds()), merged);
+  ASSERT_EQ(cmds.size(), 2u);  // two 32-row bands, each a FILL
+  EXPECT_EQ(merged[static_cast<size_t>(CommandType::kFill)].commands, 2);
+}
+
+// End-to-end: a server whose sessions encode on a pool must transmit exactly the stream a
+// serial server transmits — same commands, bytes, per-type stats, and console pixels.
+// (Under the SLIM_ENCODE_THREADS=4 ctest entry both servers run with 4 threads; the
+// default run compares 1 vs 4.)
+TEST(ParallelCodecTest, ServerSessionsAgreeAcrossThreadCounts) {
+  struct Run {
+    uint64_t console_hash = 0;
+    int64_t commands = 0;
+    int64_t bytes = 0;
+    EncodeStats stats[6] = {};
+  };
+  const auto run_with_threads = [](int threads) {
+    Simulator sim;
+    Fabric fabric(&sim, {});
+    ServerOptions options;
+    options.encoder.threads = threads;
+    SlimServer server(&sim, &fabric, options);
+    Console console(&sim, &fabric, {});
+    const uint64_t card = server.auth().IssueCard(7);
+    ServerSession& session = server.CreateSession(card);
+    console.InsertCard(server.node(), card);
+    sim.Run();
+    Rng rng(555);
+    for (int i = 0; i < 40; ++i) {
+      const Rect r{static_cast<int32_t>(rng.NextBelow(1100)),
+                   static_cast<int32_t>(rng.NextBelow(900)),
+                   4 + static_cast<int32_t>(rng.NextBelow(80)),
+                   4 + static_cast<int32_t>(rng.NextBelow(60))};
+      if (rng.NextBool(0.4)) {
+        session.FillRect(r, static_cast<Pixel>(rng.NextU64() & 0xffffff));
+      } else {
+        session.PutImage(r, MakePhotoBlock(&rng, r.w, r.h));
+      }
+      session.Flush();
+      sim.Run();
+    }
+    Run result;
+    result.console_hash = console.framebuffer().ContentHash();
+    result.commands = session.commands_sent();
+    result.bytes = session.bytes_sent();
+    std::copy(session.encode_stats(), session.encode_stats() + 6, result.stats);
+    return result;
+  };
+  const Run serial = run_with_threads(1);
+  const Run parallel = run_with_threads(4);
+  EXPECT_EQ(parallel.console_hash, serial.console_hash);
+  EXPECT_EQ(parallel.commands, serial.commands);
+  EXPECT_EQ(parallel.bytes, serial.bytes);
+  for (int t = 0; t < 6; ++t) {
+    EXPECT_EQ(parallel.stats[t], serial.stats[t]) << "type " << t;
+  }
+}
+
+TEST(ParallelCodecTest, MergeEncodeStatsSums) {
+  EncodeStats a[6] = {};
+  EncodeStats b[6] = {};
+  a[1] = EncodeStats{1, 10, 30, 10};
+  b[1] = EncodeStats{2, 20, 60, 20};
+  b[3] = EncodeStats{5, 50, 150, 50};
+  MergeEncodeStats(a, b);
+  EXPECT_EQ(b[1], (EncodeStats{3, 30, 90, 30}));
+  EXPECT_EQ(b[3], (EncodeStats{5, 50, 150, 50}));
+  EXPECT_EQ(b[0], EncodeStats{});
+}
+
+}  // namespace
+}  // namespace slim

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <tuple>
 
 #include "src/apps/content.h"
@@ -79,6 +80,81 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<2>(info.param)) + "_chunk" +
              std::to_string(std::get<3>(info.param));
     });
+
+// ---------------------------------------------------------------------------
+// Region normalization: overlapping Adds must reach the encoder de-overlapped, and the
+// encoder must never emit two commands touching the same pixel (double-encoding shared
+// pixels would inflate the wire_bytes/pixels stats behind Figures 4 and 5).
+// ---------------------------------------------------------------------------
+
+class RegionOverlapSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegionOverlapSweep, AddKeepsRectsDisjointAndAreaExact) {
+  Rng rng(7000 + static_cast<uint64_t>(GetParam()));
+  constexpr int32_t kEdge = 96;
+  Region region;
+  std::vector<bool> covered(kEdge * kEdge, false);
+  for (int i = 0; i < 25; ++i) {
+    const Rect r{static_cast<int32_t>(rng.NextBelow(kEdge)),
+                 static_cast<int32_t>(rng.NextBelow(kEdge)),
+                 1 + static_cast<int32_t>(rng.NextBelow(40)),
+                 1 + static_cast<int32_t>(rng.NextBelow(40))};
+    const Rect clipped = Intersect(r, Rect{0, 0, kEdge, kEdge});
+    region.Add(clipped);  // adds overlap heavily across iterations
+    for (int32_t y = clipped.y; y < clipped.bottom(); ++y) {
+      for (int32_t x = clipped.x; x < clipped.right(); ++x) {
+        covered[static_cast<size_t>(y) * kEdge + x] = true;
+      }
+    }
+  }
+  // Invariant: pairwise disjoint, none empty.
+  const auto& rects = region.rects();
+  for (size_t a = 0; a < rects.size(); ++a) {
+    EXPECT_FALSE(rects[a].empty());
+    for (size_t b = a + 1; b < rects.size(); ++b) {
+      EXPECT_FALSE(rects[a].Intersects(rects[b]))
+          << rects[a].ToString() << " overlaps " << rects[b].ToString();
+    }
+  }
+  // Exactness: area() equals the brute-force pixel count, and membership agrees.
+  const int64_t expected_area = std::count(covered.begin(), covered.end(), true);
+  EXPECT_EQ(region.area(), expected_area);
+  for (int32_t y = 0; y < kEdge; ++y) {
+    for (int32_t x = 0; x < kEdge; ++x) {
+      ASSERT_EQ(region.Contains(Point{x, y}), !!covered[static_cast<size_t>(y) * kEdge + x])
+          << "(" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST_P(RegionOverlapSweep, EncoderNeverEmitsOverlappingCommands) {
+  Rng rng(8000 + static_cast<uint64_t>(GetParam()));
+  Framebuffer fb(128, 96);
+  fb.SetPixels(fb.bounds(), MakePhotoBlock(&rng, 128, 96));
+  Region damage;
+  for (int i = 0; i < 12; ++i) {
+    const Rect r{static_cast<int32_t>(rng.NextBelow(110)),
+                 static_cast<int32_t>(rng.NextBelow(80)),
+                 2 + static_cast<int32_t>(rng.NextBelow(50)),
+                 2 + static_cast<int32_t>(rng.NextBelow(40))};
+    damage.Add(Intersect(r, fb.bounds()));
+  }
+  Encoder encoder;
+  const auto cmds = encoder.EncodeDamage(fb, damage);
+  int64_t encoded_pixels = 0;
+  for (size_t a = 0; a < cmds.size(); ++a) {
+    encoded_pixels += AffectedPixels(cmds[a]);
+    for (size_t b = a + 1; b < cmds.size(); ++b) {
+      EXPECT_FALSE(DestinationOf(cmds[a]).Intersects(DestinationOf(cmds[b])))
+          << DestinationOf(cmds[a]).ToString() << " overlaps "
+          << DestinationOf(cmds[b]).ToString();
+    }
+  }
+  // No pixel double-encoded and none skipped: encoded pixels == damage area exactly.
+  EXPECT_EQ(encoded_pixels, damage.area());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomizedOverlaps, RegionOverlapSweep, ::testing::Range(0, 10));
 
 // ---------------------------------------------------------------------------
 // Serialized command round-trip across sizes (fragmentation boundaries included).
