@@ -113,9 +113,11 @@ int main() {
     int heal_rounds = 0;
     bool converged =
         session.framebuffer().ContentHash() == console.framebuffer().ContentHash();
+    // Forced: loss desyncs the console from the damage tracker's shadow, and a refined
+    // repaint of a "clean" shadow would transmit nothing.
     while (!converged && heal_rounds < 30) {
       ++heal_rounds;
-      session.RepaintAll();
+      session.ForceRepaintAll();
       session.Flush();
       sim.Run();
       converged =

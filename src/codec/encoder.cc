@@ -1,7 +1,11 @@
 #include "src/codec/encoder.h"
 
 #include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
 
+#include "src/codec/row_hash.h"
 #include "src/util/check.h"
 
 namespace slim {
@@ -18,11 +22,20 @@ struct ColorScan {
   Pixel second = 0;
 };
 
+// r must lie inside fb.bounds() — every caller analyzes bands/chunks that EncodeRect
+// already clipped. Scanning row spans bounds-checks once per row, and a row that repeats
+// the previous row byte-for-byte (solid panels, text leading, letterboxing) is skipped
+// with one memcmp instead of being re-classified pixel by pixel.
 ColorScan ScanColors(const Framebuffer& fb, const Rect& r) {
   ColorScan scan;
+  const size_t row_bytes = static_cast<size_t>(r.w) * sizeof(Pixel);
+  std::span<const Pixel> prev;
   for (int32_t y = r.y; y < r.bottom(); ++y) {
-    for (int32_t x = r.x; x < r.right(); ++x) {
-      const Pixel p = fb.GetPixel(x, y);
+    const std::span<const Pixel> row = fb.Row(y, r.x, r.w);
+    if (!prev.empty() && std::memcmp(row.data(), prev.data(), row_bytes) == 0) {
+      continue;
+    }
+    for (const Pixel p : row) {
       if (scan.distinct == 0) {
         scan.first = p;
         scan.distinct = 1;
@@ -36,8 +49,44 @@ ColorScan ScanColors(const Framebuffer& fb, const Rect& r) {
         }
       }
     }
+    prev = row;
   }
   return scan;
+}
+
+// RowHash64 over one row span, treating pixels outside either framebuffer dimension as
+// black (matching GetPixel's clipping semantics, which the scroll detector's contract
+// inherits from the probe implementation). The out-of-bounds path materializes the span
+// first so both paths hash the identical pixel sequence — a black-padded span must
+// collide with a genuinely black row, exactly as pixel-by-pixel comparison would.
+uint64_t HashRowSpan(const Framebuffer& fb, int32_t y, int32_t x0, int32_t w) {
+  if (y >= 0 && y < fb.height() && x0 >= 0 && x0 + w <= fb.width()) {
+    return RowHash64(fb.Row(y, x0, w));
+  }
+  std::vector<Pixel> padded(static_cast<size_t>(w));
+  for (int32_t x = x0; x < x0 + w; ++x) {
+    padded[static_cast<size_t>(x - x0)] = fb.GetPixel(x, y);
+  }
+  return RowHash64(padded);
+}
+
+// after(x, ya) == before(x, yb) for all x in [x0, x0+w)? memcmp when both row spans are in
+// bounds (the overwhelmingly common case), GetPixel fallback otherwise.
+bool RowSpansEqual(const Framebuffer& after, int32_t ya, const Framebuffer& before,
+                   int32_t yb, int32_t x0, int32_t w) {
+  const bool after_in = ya >= 0 && ya < after.height() && x0 >= 0 && x0 + w <= after.width();
+  const bool before_in =
+      yb >= 0 && yb < before.height() && x0 >= 0 && x0 + w <= before.width();
+  if (after_in && before_in) {
+    return std::memcmp(after.Row(ya, x0, w).data(), before.Row(yb, x0, w).data(),
+                       static_cast<size_t>(w) * sizeof(Pixel)) == 0;
+  }
+  for (int32_t x = x0; x < x0 + w; ++x) {
+    if (after.GetPixel(x, ya) != before.GetPixel(x, yb)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -47,6 +96,7 @@ Encoder::Encoder(EncoderOptions options) : options_(options) {
   SLIM_CHECK(options_.chunk_width > 0);
   SLIM_CHECK(options_.max_set_pixels > 0);
   SLIM_CHECK(options_.threads > 0);
+  SLIM_CHECK(options_.scroll_max_shift >= 0);
 }
 
 std::vector<DisplayCommand> Encoder::EncodeDamage(const Framebuffer& fb,
@@ -186,12 +236,19 @@ void Encoder::EmitBitmap(const Framebuffer& fb, const Rect& rect, Pixel bg, Pixe
   const size_t stride = (static_cast<size_t>(rect.w) + 7) / 8;
   std::vector<uint8_t> bits(stride * static_cast<size_t>(rect.h), 0);
   for (int32_t y = rect.y; y < rect.bottom(); ++y) {
-    uint8_t* row = &bits[static_cast<size_t>(y - rect.y) * stride];
-    for (int32_t x = rect.x; x < rect.right(); ++x) {
-      if (fb.GetPixel(x, y) == fg) {
-        const int32_t bit = x - rect.x;
-        row[bit >> 3] |= static_cast<uint8_t>(1u << (7 - (bit & 7)));
+    const std::span<const Pixel> row = fb.Row(y, rect.x, rect.w);
+    uint8_t* out_row = &bits[static_cast<size_t>(y - rect.y) * stride];
+    int32_t x = 0;
+    for (size_t byte = 0; byte < stride; ++byte) {
+      // The final byte of a row packs rect.w % 8 pixels; its trailing bits stay zero.
+      const int32_t lanes = std::min<int32_t>(8, rect.w - x);
+      uint8_t packed = 0;
+      for (int32_t bit = 0; bit < lanes; ++bit, ++x) {
+        if (row[static_cast<size_t>(x)] == fg) {
+          packed |= static_cast<uint8_t>(1u << (7 - bit));
+        }
       }
+      out_row[byte] = packed;
     }
   }
   out->push_back(BitmapCommand{rect, fg, bg, std::move(bits)});
@@ -216,11 +273,95 @@ void Encoder::AccumulateOne(CommandType type, size_t wire_bytes, int64_t uncompr
 }
 
 int32_t DetectVerticalScroll(const Framebuffer& before, const Framebuffer& after,
-                             const Rect& rect, int32_t max_shift) {
+                             const Rect& rect, int32_t max_shift,
+                             const ScrollHashHints* hints) {
   const Rect r = Intersect(rect, after.bounds());
-  // Rects narrower or shorter than 8 pixels carry too few independent probe columns/rows
-  // for the sparse check to mean anything (and a "scroll" of a sliver saves nothing), so
-  // both dimensions are guarded, not just the height.
+  // Rects narrower or shorter than 8 pixels carry too few independent rows/columns for a
+  // match to mean anything (and a "scroll" of a sliver saves nothing), so both dimensions
+  // are guarded, not just the height.
+  if (r.empty() || r.h < 8 || r.w < 8 || max_shift <= 0) {
+    return 0;
+  }
+
+  // Hash every row of the rect once, then index the `before` hashes so each `after` row
+  // proposes its plausible shifts in one lookup. A dy is a candidate only when every row
+  // of its shifted overlap hash-matches (votes == overlap), which subsumes the old sparse
+  // probe grid: any dy the probe pass would have accepted hash-matches too.
+  //
+  // Hints replace both hashing passes when the rect spans full rows of both frames (then
+  // a full-row hash IS the rect-restricted hash). Both sides must come from the same
+  // source — mixing hinted and computed hashes would break hash-to-hash comparability.
+  const bool use_hints =
+      hints != nullptr && r.x == 0 && r.w == after.width() && r.w == before.width() &&
+      r.bottom() <= before.height() &&
+      hints->after_rows.size() >= static_cast<size_t>(r.bottom()) &&
+      hints->before_rows.size() >= static_cast<size_t>(r.bottom());
+  std::vector<uint64_t> after_hash(static_cast<size_t>(r.h));
+  std::vector<uint64_t> before_hash(static_cast<size_t>(r.h));
+  for (int32_t i = 0; i < r.h; ++i) {
+    const size_t yi = static_cast<size_t>(r.y + i);
+    after_hash[static_cast<size_t>(i)] =
+        use_hints ? hints->after_rows[yi] : HashRowSpan(after, r.y + i, r.x, r.w);
+    before_hash[static_cast<size_t>(i)] =
+        use_hints ? hints->before_rows[yi] : HashRowSpan(before, r.y + i, r.x, r.w);
+  }
+  std::unordered_map<uint64_t, std::vector<int32_t>> index;
+  index.reserve(static_cast<size_t>(r.h));
+  for (int32_t i = 0; i < r.h; ++i) {
+    index[before_hash[static_cast<size_t>(i)]].push_back(i);  // ascending by construction
+  }
+  // votes[dy + max_shift] = number of after-rows i whose hash matches before-row i - dy.
+  // Each (i, dy) pair is counted at most once (the source row is determined by i and dy),
+  // so votes[dy] == overlap(dy) iff every overlapping row hash-matches under that shift.
+  std::vector<int32_t> votes(static_cast<size_t>(2 * max_shift + 1), 0);
+  for (int32_t i = 0; i < r.h; ++i) {
+    const auto it = index.find(after_hash[static_cast<size_t>(i)]);
+    if (it == index.end()) {
+      continue;
+    }
+    const std::vector<int32_t>& rows = it->second;
+    // Only source rows within max_shift of i matter; duplicate-row content (menus, blank
+    // lines) would otherwise make this pass quadratic in the rect height.
+    for (auto p = std::lower_bound(rows.begin(), rows.end(), i - max_shift);
+         p != rows.end() && *p <= i + max_shift; ++p) {
+      if (*p != i) {
+        votes[static_cast<size_t>(i - *p + max_shift)] += 1;
+      }
+    }
+  }
+
+  // Same preference order as the probe detector (smallest magnitude first, negative before
+  // positive), and the same exhaustive confirmation — now a memcmp per overlap row — so the
+  // two detectors return identical results on every input. The probe grid's reach is also
+  // preserved: a downward shift past the last grid row left the probe pass with zero
+  // evidence, so the old detector never proposed it and this one must not either.
+  const int32_t probes_y = std::min<int32_t>(16, r.h);
+  const int32_t last_grid_row =
+      static_cast<int32_t>(static_cast<int64_t>(probes_y - 1) * r.h / probes_y);
+  for (int32_t magnitude = 1; magnitude <= max_shift; ++magnitude) {
+    for (const int32_t dy : {-magnitude, magnitude}) {
+      const int32_t overlap = r.h - magnitude;
+      if (overlap <= 0 || votes[static_cast<size_t>(dy + max_shift)] != overlap ||
+          (dy > 0 && dy > last_grid_row)) {
+        continue;
+      }
+      const int32_t y0 = std::max(r.y, r.y + dy);
+      const int32_t y1 = std::min(r.bottom(), r.bottom() + dy);
+      bool confirmed = true;
+      for (int32_t y = y0; y < y1 && confirmed; ++y) {
+        confirmed = RowSpansEqual(after, y, before, y - dy, r.x, r.w);
+      }
+      if (confirmed) {
+        return dy;
+      }
+    }
+  }
+  return 0;
+}
+
+int32_t DetectVerticalScrollProbe(const Framebuffer& before, const Framebuffer& after,
+                                  const Rect& rect, int32_t max_shift) {
+  const Rect r = Intersect(rect, after.bounds());
   if (r.empty() || r.h < 8 || r.w < 8) {
     return 0;
   }
@@ -256,12 +397,7 @@ int32_t DetectVerticalScroll(const Framebuffer& before, const Framebuffer& after
         const int32_t y1 = std::min(r.bottom(), r.bottom() + dy);
         bool confirmed = true;
         for (int32_t y = y0; y < y1 && confirmed; ++y) {
-          for (int32_t x = r.x; x < r.right(); ++x) {
-            if (after.GetPixel(x, y) != before.GetPixel(x, y - dy)) {
-              confirmed = false;
-              break;
-            }
-          }
+          confirmed = RowSpansEqual(after, y, before, y - dy, r.x, r.w);
         }
         if (confirmed) {
           return dy;

@@ -37,6 +37,18 @@ struct EncoderOptions {
   // >1 enables EncoderPool (src/codec/parallel.h), which splits damage into bands and
   // encodes them concurrently with bit-identical output for every thread count.
   int threads = 1;
+
+  // Shadow-frame damage refinement (src/codec/damage_tracker.h): the session keeps a copy
+  // of the last-transmitted frame plus per-row hashes and trims draw-op damage to the
+  // pixels that actually changed before encoding, so over-broad damage (RepaintAll,
+  // full-window PutImage of mostly-unchanged content) costs what it is worth. Disable for
+  // ablation with SLIM_DAMAGE_TRACKER=0 (env override applied in SlimServer).
+  bool damage_tracker = true;
+
+  // Maximum |dy| the damage tracker's scroll salvage searches when a large damage block
+  // might be the shadow frame shifted vertically (hint-less scrolls arriving as full
+  // repaints). 0 disables salvage. Only meaningful when damage_tracker is on.
+  int32_t scroll_max_shift = 64;
 };
 
 // Statistics the encoder keeps per command type; the Figure 4 harness reads these.
@@ -93,12 +105,39 @@ class Encoder {
   EncoderOptions options_;
 };
 
+// Optional precomputed row hashes for DetectVerticalScroll: RowHash64 (src/codec/row_hash.h)
+// of each FULL row of the respective framebuffer, indexed by absolute y. The damage
+// tracker maintains exactly these for its shadow (before) and computes them for the
+// current frame (after) anyway, so passing them saves the detector both hashing passes.
+// Only consulted when `rect` spans the full width of both frames — a full-row hash equals
+// the rect-restricted hash only then — and when both spans cover the rect's rows.
+struct ScrollHashHints {
+  std::span<const uint64_t> before_rows;
+  std::span<const uint64_t> after_rows;
+};
+
 // Searches for a vertical scroll between `before` and `after` restricted to `rect`: a dy in
-// [-max_shift, max_shift] such that after(x, y) == before(x, y - dy) for most of the rect.
-// Returns 0 when none is found, and always 0 for rects narrower or shorter than 8 pixels —
-// too small for the sparse probe grid to distinguish a scroll from coincidence.
+// [-max_shift, max_shift] such that after(x, y) == before(x, y - dy) over the whole shifted
+// overlap. Returns 0 when none is found, and always 0 for rects narrower or shorter than
+// 8 pixels — too small to distinguish a scroll from coincidence.
+//
+// One O(rows) pass hashes each row of the rect (skipped entirely when `hints` apply) and
+// looks `after` row hashes up in an index of `before` row hashes to vote for candidate
+// shifts; candidates whose votes cover the entire overlap are then confirmed by row memcmp
+// in the same smallest-|dy|-first, negative-before-positive preference order the
+// probe-based detector used, so the two agree on every input (property-tested in
+// tests/damage_tracker_test.cc). Cost no longer scales with max_shift: the per-magnitude
+// pixel probing is gone.
 int32_t DetectVerticalScroll(const Framebuffer& before, const Framebuffer& after,
-                             const Rect& rect, int32_t max_shift);
+                             const Rect& rect, int32_t max_shift,
+                             const ScrollHashHints* hints = nullptr);
+
+// The original probe-grid detector: tries every magnitude in [1, max_shift], sampling a
+// sparse 16x16 probe grid before confirming exhaustively. Kept as the reference
+// implementation the hash-indexed detector is property-tested against (and benchmarked
+// against in bench_damage_pipeline); not used on the serving path.
+int32_t DetectVerticalScrollProbe(const Framebuffer& before, const Framebuffer& after,
+                                  const Rect& rect, int32_t max_shift);
 
 }  // namespace slim
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/fb/geometry.h"
+#include "src/util/check.h"
 
 namespace slim {
 
@@ -57,6 +58,20 @@ class Framebuffer {
   void ReadPixels(const Rect& r, std::vector<Pixel>* out) const;
 
   std::span<const Pixel> data() const { return data_; }
+
+  // Contiguous span of row y, optionally restricted to columns [x0, x0+w). Unlike
+  // GetPixel, these do not clip: the requested span must lie inside the framebuffer.
+  // They exist for the hot analysis loops (encoder scans, damage refinement, scroll
+  // detection), which pay one bounds check per row instead of one per pixel and can
+  // memcmp/auto-vectorize over the returned memory.
+  std::span<const Pixel> Row(int32_t y) const {
+    SLIM_DCHECK(y >= 0 && y < height_);
+    return {data_.data() + static_cast<size_t>(y) * width_, static_cast<size_t>(width_)};
+  }
+  std::span<const Pixel> Row(int32_t y, int32_t x0, int32_t w) const {
+    SLIM_DCHECK(y >= 0 && y < height_ && x0 >= 0 && w >= 0 && x0 + w <= width_);
+    return {data_.data() + static_cast<size_t>(y) * width_ + x0, static_cast<size_t>(w)};
+  }
 
   // FNV-1a hash of the full contents; used by tests to compare server/console state.
   uint64_t ContentHash() const;

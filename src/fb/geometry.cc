@@ -95,6 +95,18 @@ void Region::Add(const Rect& r) {
   rects_.insert(rects_.end(), pending.begin(), pending.end());
 }
 
+void Region::AddDisjoint(const Rect& r) {
+  if (r.empty()) {
+    return;
+  }
+#ifndef NDEBUG
+  for (const Rect& existing : rects_) {
+    SLIM_DCHECK(!existing.Intersects(r));
+  }
+#endif
+  rects_.push_back(r);
+}
+
 void Region::AddRegion(const Region& other) {
   for (const Rect& r : other.rects_) {
     Add(r);

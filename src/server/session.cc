@@ -15,6 +15,9 @@ ServerSession::ServerSession(SlimServer* server, uint32_t id, int32_t width, int
   if (encoder_options.threads > 1) {
     pool_ = std::make_unique<EncoderPool>(encoder_options);
   }
+  if (encoder_options.damage_tracker) {
+    tracker_ = std::make_unique<DamageTracker>(width, height);
+  }
 }
 
 Simulator* ServerSession::simulator() { return server_->simulator(); }
@@ -50,7 +53,10 @@ bool ServerSession::RegisterMetrics(MetricRegistry* registry, const std::string&
 
 void ServerSession::AttachConsole(NodeId console) {
   console_ = console;
-  RepaintAll();
+  // The newly attached console displays black (its framebuffer is soft state and this may
+  // be a hotdesking move to a different terminal), so the repaint must not be refined
+  // against whatever the previous console was showing.
+  ForceRepaintAll();
   Flush();
 }
 
@@ -119,6 +125,10 @@ void ServerSession::FillRect(const Rect& r, Pixel color) {
   // Fills pass straight through the driver: the rectangle is already in protocol form.
   damage_.Subtract(clipped);
   QueueCommand(FillCommand{clipped, color});
+  if (tracker_ != nullptr) {
+    // The FILL bypasses the encoder (and thus refinement), so mirror it into the shadow.
+    tracker_->SyncRect(fb_, clipped);
+  }
 }
 
 void ServerSession::DrawGlyphs(int32_t x, int32_t y, std::span<const GlyphBitmap* const> glyphs,
@@ -172,6 +182,11 @@ void ServerSession::CopyArea(int32_t src_x, int32_t src_y, const Rect& dst) {
   const Rect src_rect{shifted_src_x, shifted_src_y, clipped.w, clipped.h};
   if (fb_.bounds().ContainsRect(src_rect)) {
     QueueCommand(CopyCommand{shifted_src_x, shifted_src_y, clipped});
+    if (tracker_ != nullptr) {
+      // Damage was encoded (and the shadow synced) just above, so copying the already-
+      // updated fb pixels into the shadow equals applying the COPY the console will apply.
+      tracker_->SyncRect(fb_, clipped);
+    }
   } else {
     // The console rejects COPYs that read out of bounds, so send the result literally:
     // CopyRect already wrote the (partially black-padded) pixels, mark them damaged and let
@@ -197,6 +212,10 @@ void ServerSession::SendVideoFrame(const YuvImage& frame, const Rect& dst, CscsD
                                         cmd.dst.w, cmd.dst.h));
   damage_.Subtract(cmd.dst);
   log_.RecordXRequest(now, XVideoFrameBytes(cmd.dst.w, cmd.dst.h));
+  if (tracker_ != nullptr) {
+    // CSCS bypasses the encoder; the fb already holds the converted pixels.
+    tracker_->SyncRect(fb_, cmd.dst);
+  }
   QueueCommand(std::move(cmd));
   Flush();
 }
@@ -221,6 +240,13 @@ void ServerSession::RepaintAll() {
   damage_.Add(fb_.bounds());
 }
 
+void ServerSession::ForceRepaintAll() {
+  if (tracker_ != nullptr) {
+    tracker_->Invalidate();
+  }
+  RepaintAll();
+}
+
 void ServerSession::QueueCommand(DisplayCommand cmd) { pending_.push_back(std::move(cmd)); }
 
 void ServerSession::EncodeDamageToPending() {
@@ -228,14 +254,31 @@ void ServerSession::EncodeDamageToPending() {
     return;
   }
   damage_.Coalesce(64);
-  std::vector<DisplayCommand> cmds = pool_ != nullptr ? pool_->EncodeDamage(fb_, damage_)
-                                                      : encoder_.EncodeDamage(fb_, damage_);
-  int64_t pixels = 0;
-  for (auto& cmd : cmds) {
-    pixels += AffectedPixels(cmd);
-    pending_.push_back(std::move(cmd));
+  Region refined;
+  const Region* to_encode = &damage_;
+  if (tracker_ != nullptr) {
+    // Trim the damage to what actually differs from the last-transmitted frame, salvaging
+    // large vertical scrolls as COPY commands. The scroll COPYs must precede the commands
+    // encoded from the refined residual, which diffs against the post-copy display state.
+    std::vector<DisplayCommand> scroll_cmds;
+    refined = tracker_->Refine(fb_, damage_, encoder_.options().scroll_max_shift,
+                               &scroll_cmds);
+    for (auto& cmd : scroll_cmds) {
+      QueueCommand(std::move(cmd));
+    }
+    to_encode = &refined;
   }
-  encode_time_ += server_->options().cpu.EncodeCost(pixels, static_cast<int>(cmds.size()));
+  if (!to_encode->empty()) {
+    std::vector<DisplayCommand> cmds = pool_ != nullptr
+                                           ? pool_->EncodeDamage(fb_, *to_encode)
+                                           : encoder_.EncodeDamage(fb_, *to_encode);
+    int64_t pixels = 0;
+    for (auto& cmd : cmds) {
+      pixels += AffectedPixels(cmd);
+      pending_.push_back(std::move(cmd));
+    }
+    encode_time_ += server_->options().cpu.EncodeCost(pixels, static_cast<int>(cmds.size()));
+  }
   damage_.Clear();
 }
 

@@ -16,6 +16,7 @@
 
 #include <memory>
 
+#include "src/codec/damage_tracker.h"
 #include "src/codec/encoder.h"
 #include "src/codec/parallel.h"
 #include "src/fb/framebuffer.h"
@@ -77,10 +78,22 @@ class ServerSession {
   // Encodes pending damage and transmits everything queued to the attached console.
   void Flush();
 
-  // Full-screen refresh, used when a session is (re)attached to a console.
+  // Full-screen refresh. With the damage tracker on this is cheap: the tracker refines the
+  // full-frame damage down to whatever actually differs from the last-transmitted frame
+  // (possibly nothing), so callers may repaint liberally.
   void RepaintAll();
 
+  // RepaintAll that also discards the damage tracker's shadow frame, forcing a genuine
+  // full retransmission. This is the loss-recovery path: when the transport gave up on a
+  // message the console's soft state has silently diverged from the shadow, and a refined
+  // repaint would wrongly transmit nothing. Used on console (re)attach for the same
+  // reason — a fresh console displays black regardless of what the shadow says.
+  void ForceRepaintAll();
+
   const Region& pending_damage() const { return damage_; }
+
+  // Present when the encoder options enable shadow-frame damage refinement.
+  const DamageTracker* damage_tracker() const { return tracker_.get(); }
 
   // Simulated CPU accounting (Section 5.5 / Table 4).
   SimDuration render_time() const { return render_time_; }
@@ -116,6 +129,9 @@ class ServerSession {
   // byte counters) is still written only from this session's owning thread: the pool merges
   // worker-local scratch before EncodeDamage returns.
   std::unique_ptr<EncoderPool> pool_;
+  // Shadow-frame damage refinement (src/codec/damage_tracker.h); null when disabled. Owned
+  // and touched only by the session's thread — refinement happens before any pool fan-out.
+  std::unique_ptr<DamageTracker> tracker_;
   ProtocolLog log_;
   Region damage_;
   std::vector<DisplayCommand> pending_;

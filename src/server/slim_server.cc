@@ -1,5 +1,6 @@
 #include "src/server/slim_server.h"
 
+#include "src/codec/damage_tracker.h"
 #include "src/codec/parallel.h"
 #include "src/obs/metrics.h"
 #include "src/util/check.h"
@@ -78,6 +79,7 @@ SlimServer::SlimServer(Simulator* sim, Fabric* fabric, ServerOptions options)
     : sim_(sim), options_(options), auth_(0x51e7e5c4e7u) {
   SLIM_CHECK(sim != nullptr && fabric != nullptr);
   options_.encoder.threads = EncodeThreadsFromEnv(options_.encoder.threads);
+  options_.encoder.damage_tracker = DamageTrackerFromEnv(options_.encoder.damage_tracker);
   endpoint_ = std::make_unique<SlimEndpoint>(fabric, fabric->AddNode());
   endpoint_->set_handler([this](const Message& msg, NodeId from) { OnMessage(msg, from); });
 }

@@ -302,9 +302,11 @@ TEST(ChaosSoakTest, HostileFabricSessionConvergesPixelIdentical) {
   // Convergence: repaint rounds give NACK recovery fresh traffic to detect tail loss
   // against. The chaos profile stays ACTIVE throughout — recovery must win against the
   // still-hostile fabric, not against a conveniently healed one.
+  // Forced repaints: chaos loss means the console no longer matches the damage tracker's
+  // shadow frame, so refined repaints would transmit nothing and never heal the holes.
   bool converged = false;
   for (int round = 0; round < 30 && !converged; ++round) {
-    session.RepaintAll();
+    session.ForceRepaintAll();
     session.Flush();
     sim.Run();
     converged =

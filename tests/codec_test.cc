@@ -361,5 +361,39 @@ TEST(ScrollDetectTest, NoScrollReturnsZero) {
   EXPECT_EQ(DetectVerticalScroll(before, after, before.bounds(), 16), 0);
 }
 
+// The bitmap packer's final byte covers fewer than 8 pixels when the rect width is not a
+// multiple of 8; the padding bits must not read past the row and the round-trip must be
+// exact for every remainder width.
+TEST(EncoderTest, BitmapRoundTripsAtNonByteAlignedWidths) {
+  const Pixel bg = MakePixel(0, 0, 96);
+  const Pixel fg = MakePixel(250, 250, 210);
+  for (const int32_t w : {1, 7, 9, 13, 31}) {
+    Framebuffer fb(40, 20, MakePixel(10, 20, 30));
+    const Rect r{3, 2, w, 12};
+    for (int32_t y = r.y; y < r.bottom(); ++y) {
+      for (int32_t x = r.x; x < r.right(); ++x) {
+        fb.PutPixel(x, y, ((x * 5 + y * 3) % 7 < 3) ? fg : bg);
+      }
+    }
+    Encoder encoder;
+    std::vector<DisplayCommand> out;
+    encoder.EncodeRect(fb, r, &out);
+    ASSERT_FALSE(out.empty()) << "w=" << w;
+    Framebuffer replica(40, 20, MakePixel(10, 20, 30));
+    bool saw_bitmap = false;
+    for (const DisplayCommand& cmd : out) {
+      saw_bitmap = saw_bitmap || TypeOf(cmd) == CommandType::kBitmap;
+      ASSERT_TRUE(ValidateCommand(cmd)) << "w=" << w;
+      ASSERT_TRUE(ApplyCommand(cmd, &replica)) << "w=" << w;
+    }
+    // Two colors over more than a handful of pixels: the encoder should have picked
+    // BITMAP, not fallen back to SET (w=1 rects may legitimately become FILL slivers).
+    if (w >= 7) {
+      EXPECT_TRUE(saw_bitmap) << "w=" << w;
+    }
+    EXPECT_EQ(replica.ContentHash(), fb.ContentHash()) << "w=" << w;
+  }
+}
+
 }  // namespace
 }  // namespace slim

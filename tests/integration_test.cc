@@ -87,9 +87,11 @@ TEST(IntegrationTest, LossyFabricConvergesViaReplay) {
   }
   sim.Run();
   // Heal any residual holes (lost input events don't matter; lost display commands might):
-  // the session repaints and keepalive traffic gives NACK recovery windows to finish.
+  // the session repaints and keepalive traffic gives NACK recovery windows to finish. The
+  // forced variant discards the damage tracker's shadow — after loss the console has
+  // diverged from it, and a refined repaint would transmit nothing.
   for (int i = 0; i < 5; ++i) {
-    session.RepaintAll();
+    session.ForceRepaintAll();
     session.Flush();
     sim.Run();
   }

@@ -215,9 +215,11 @@ TEST_P(LossSweep, TransportStressNeverCorruptsOnlyDelays) {
     sim.RunUntil(sim.now() + Milliseconds(20));
   }
   sim.Run();
-  // Quiesce with repaints so NACK recovery windows close any holes.
+  // Quiesce with repaints so NACK recovery windows close any holes. Forced: after loss the
+  // console has diverged from the damage tracker's shadow, so a refined repaint would
+  // wrongly transmit nothing.
   for (int i = 0; i < 4; ++i) {
-    session.RepaintAll();
+    session.ForceRepaintAll();
     session.Flush();
     sim.Run();
   }
