@@ -34,6 +34,7 @@ foreach(harness ${harnesses})
     COMMAND ${CMAKE_COMMAND} -E env
       SLIM_USERS=2 SLIM_MINUTES=1 SLIM_SECONDS=5 SLIM_SOAK_EVENTS=20
       SLIM_DP_FRAMES=6 SLIM_DP_REPS=3
+      SLIM_CHURN_SESSIONS=2 SLIM_CHURN_CONSOLES=3 SLIM_CHURN_OPS=24
       SLIM_BENCH_DIR=${OUT_DIR}
       ${harness} ${extra_args}
     RESULT_VARIABLE rc

@@ -44,6 +44,11 @@ bool Console::RegisterMetrics(MetricRegistry* registry, const std::string& prefi
   ok = registry->BindCounter(prefix + ".commands_rejected", &commands_rejected_) && ok;
   ok = registry->BindCounter(prefix + ".cscs_stream_hits", &cscs_stream_hits_) && ok;
   ok = registry->BindCounter(prefix + ".audio_bytes", &audio_bytes_) && ok;
+  ok = registry->BindCounter(prefix + ".releases_applied", &releases_applied_) && ok;
+  ok = registry->BindCounter(prefix + ".stale_releases_ignored", &stale_releases_ignored_) &&
+       ok;
+  ok = registry->BindCounter(prefix + ".post_release_drops", &post_release_drops_) && ok;
+  ok = registry->BindCounter(prefix + ".pings_answered", &pings_answered_) && ok;
   ok = registry->BindGauge(prefix + ".queued_bytes",
                            [this] { return static_cast<double>(queued_bytes_); }) &&
        ok;
@@ -73,8 +78,23 @@ void Console::OnMessage(const Message& msg, NodeId from) {
         if constexpr (std::is_same_v<T, SetCommand> || std::is_same_v<T, BitmapCommand> ||
                       std::is_same_v<T, FillCommand> || std::is_same_v<T, CopyCommand> ||
                       std::is_same_v<T, CscsCommand>) {
+          // A sequenced command older than an applied release belongs to the released
+          // stream (a NACK replay that lost the race); it must not dirty the blank screen.
+          if (const auto floor = release_floor_.find(from);
+              floor != release_floor_.end() && msg.seq != 0 && msg.seq < floor->second) {
+            ++post_release_drops_;
+            return;
+          }
+          if (msg.seq != 0) {
+            uint64_t& high = last_display_seq_[from];
+            high = std::max(high, msg.seq);
+          }
           ProcessDisplayCommand(msg, DisplayCommand(body));
+        } else if constexpr (std::is_same_v<T, SessionReleaseMsg>) {
+          ProcessRelease(msg, from);
         } else if constexpr (std::is_same_v<T, PingMsg>) {
+          // Keepalive responder: the pong is what the server's liveness probe listens for.
+          ++pings_answered_;
           endpoint_->Send(from, msg.session_id, PongMsg{body.payload});
         } else if constexpr (std::is_same_v<T, BandwidthRequestMsg>) {
           // Section 7 allocation: recompute and notify the requester of its own grant.
@@ -89,6 +109,31 @@ void Console::OnMessage(const Message& msg, NodeId from) {
         }
       },
       msg.body);
+}
+
+void Console::ProcessRelease(const Message& msg, NodeId from) {
+  // Stale copy: a display command newer than this release has already been accepted, so
+  // the session that this notice releases has since come back to this console (fast
+  // hotdesk round trip, or a delayed duplicate). Blanking now would wipe a live screen.
+  if (const auto high = last_display_seq_.find(from);
+      high != last_display_seq_.end() && msg.seq != 0 && msg.seq < high->second) {
+    ++stale_releases_ignored_;
+    return;
+  }
+  if (msg.seq != 0) {
+    uint64_t& floor = release_floor_[from];
+    floor = std::max(floor, msg.seq);
+  }
+  ++releases_applied_;
+  // The blank runs through the decode pipeline like any command: commands already queued
+  // (all older than the release) finish first, then the screen goes dark. The stream cache
+  // dies with the session — the next occupant's streams are not this one's.
+  const SimTime at = std::max(sim_->now(), busy_until_);
+  busy_until_ = at;
+  sim_->ScheduleAt(at, [this] {
+    fb_.Fill(fb_.bounds(), kBlack);
+    stream_cache_.clear();
+  });
 }
 
 void Console::ProcessDisplayCommand(const Message& msg, const DisplayCommand& cmd) {

@@ -11,6 +11,7 @@
 #define SRC_CONSOLE_CONSOLE_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -75,6 +76,13 @@ class Console {
   int64_t commands_rejected() const { return commands_rejected_; }
   int64_t cscs_stream_hits() const { return cscs_stream_hits_; }
   int64_t audio_bytes() const { return audio_bytes_; }
+  // Session-lifecycle observability: release notices honoured (screen blanked), release
+  // copies ignored as stale (a newer repaint had already been accepted), display commands
+  // dropped because they predate an applied release, keepalive pings answered.
+  int64_t releases_applied() const { return releases_applied_; }
+  int64_t stale_releases_ignored() const { return stale_releases_ignored_; }
+  int64_t post_release_drops() const { return post_release_drops_; }
+  int64_t pings_answered() const { return pings_answered_; }
   SimTime busy_until() const { return busy_until_; }
   // Time the decode pipeline has spent busy (for utilization accounting).
   SimDuration busy_time() const { return busy_time_; }
@@ -93,6 +101,7 @@ class Console {
  private:
   void OnMessage(const Message& msg, NodeId from);
   void ProcessDisplayCommand(const Message& msg, const DisplayCommand& cmd);
+  void ProcessRelease(const Message& msg, NodeId from);
 
   Simulator* sim_;
   ConsoleOptions options_;
@@ -117,6 +126,18 @@ class Console {
   int64_t commands_dropped_ = 0;
   int64_t commands_rejected_ = 0;
   int64_t audio_bytes_ = 0;
+  int64_t releases_applied_ = 0;
+  int64_t stale_releases_ignored_ = 0;
+  int64_t post_release_drops_ = 0;
+  int64_t pings_answered_ = 0;
+  // Per-sender sequence guards for session handoff. The console stays stateless in the
+  // architectural sense — both are soft state that can be rebuilt by a repaint — but they
+  // let it order a release notice against display traffic racing it through the fabric:
+  // a release older than an accepted display command is stale (the session came back), and
+  // a display command older than an applied release is dead traffic (NACK replay of the
+  // released stream) that must not dirty a blanked screen.
+  std::map<NodeId, uint64_t> last_display_seq_;
+  std::map<NodeId, uint64_t> release_floor_;
   std::vector<ServiceRecord> service_log_;
   ApplyCallback apply_callback_;
   // Registry-owned histograms, non-null only after RegisterMetrics; bumping them is a

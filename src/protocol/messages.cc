@@ -80,6 +80,8 @@ void WriteBody(ByteWriter& w, const MessageBody& body) {
           w.U64(b.payload);
         } else if constexpr (std::is_same_v<T, PongMsg>) {
           w.U64(b.payload);
+        } else if constexpr (std::is_same_v<T, SessionReleaseMsg>) {
+          w.U8(static_cast<uint8_t>(b.reason));
         }
       },
       body);
@@ -216,6 +218,29 @@ std::optional<MessageBody> ReadBody(MessageType type, ByteReader& r, size_t payl
       m.payload = r.U64();
       return MessageBody(m);
     }
+    case MessageType::kSessionRelease: {
+      SessionReleaseMsg m;
+      switch (r.U8()) {
+        case 1:
+          m.reason = ReleaseReason::kHotdesk;
+          break;
+        case 2:
+          m.reason = ReleaseReason::kCardRemoved;
+          break;
+        case 3:
+          m.reason = ReleaseReason::kLivenessTimeout;
+          break;
+        case 4:
+          m.reason = ReleaseReason::kEvicted;
+          break;
+        case 5:
+          m.reason = ReleaseReason::kReplaced;
+          break;
+        default:
+          return std::nullopt;
+      }
+      return MessageBody(m);
+    }
   }
   return std::nullopt;
 }
@@ -256,8 +281,11 @@ MessageType TypeOfBody(const MessageBody& body) {
           return MessageType::kAudio;
         } else if constexpr (std::is_same_v<T, PingMsg>) {
           return MessageType::kPing;
-        } else {
+        } else if constexpr (std::is_same_v<T, PongMsg>) {
           return MessageType::kPong;
+        } else {
+          static_assert(std::is_same_v<T, SessionReleaseMsg>);
+          return MessageType::kSessionRelease;
         }
       },
       body);

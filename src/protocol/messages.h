@@ -38,6 +38,17 @@ enum class MessageType : uint8_t {
   kBandwidthGrant = 33,
   kPing = 34,
   kPong = 35,
+  kSessionRelease = 36,  // session left this console: blank and stop displaying
+};
+
+// Why a session's console binding ended; carried on SessionReleaseMsg so consoles and
+// logs can distinguish a hotdesk pull from an operator-visible failure.
+enum class ReleaseReason : uint8_t {
+  kHotdesk = 1,          // the card appeared at another console
+  kCardRemoved = 2,      // the user pulled the card at this console
+  kLivenessTimeout = 3,  // the console stopped answering keepalive probes
+  kEvicted = 4,          // idle-session eviction reclaimed the session
+  kReplaced = 5,         // a different card was inserted at this console
 };
 
 struct KeyEventMsg {
@@ -106,10 +117,21 @@ struct PongMsg {
   bool operator==(const PongMsg&) const = default;
 };
 
+// Server -> console: the hotdesk handoff's "blank notice". The console that receives this
+// no longer shows the session — it blanks its soft-state framebuffer and (via the seq
+// guards in Console) ignores any stale display traffic for the session still in flight.
+// Idempotent: the server re-sends it a bounded number of times so a lossy fabric cannot
+// leave a released console displaying a dead session's last frame.
+struct SessionReleaseMsg {
+  ReleaseReason reason = ReleaseReason::kHotdesk;
+  bool operator==(const SessionReleaseMsg&) const = default;
+};
+
 using MessageBody =
     std::variant<SetCommand, BitmapCommand, FillCommand, CopyCommand, CscsCommand, KeyEventMsg,
                  MouseEventMsg, StatusMsg, NackMsg, SessionAttachMsg, SessionDetachMsg,
-                 BandwidthRequestMsg, BandwidthGrantMsg, AudioMsg, PingMsg, PongMsg>;
+                 BandwidthRequestMsg, BandwidthGrantMsg, AudioMsg, PingMsg, PongMsg,
+                 SessionReleaseMsg>;
 
 struct Message {
   uint32_t session_id = 0;

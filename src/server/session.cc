@@ -36,6 +36,12 @@ bool ServerSession::RegisterMetrics(MetricRegistry* registry, const std::string&
   ok = registry->BindGauge(prefix + ".wire_cpu_ns",
                            [this] { return static_cast<double>(wire_time_); }) &&
        ok;
+  // How much of the server's shared transmit pipeline this session currently occupies.
+  ok = registry->BindGauge(prefix + ".txq_depth",
+                           [this] {
+                             return static_cast<double>(server_->tx_queue().depth(id_));
+                           }) &&
+       ok;
   // One counter block per display command type, mirroring EncodeStats field for field.
   static constexpr const char* kTypeNames[6] = {nullptr, "set", "bitmap", "fill", "copy",
                                                 "cscs"};

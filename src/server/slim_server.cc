@@ -1,5 +1,7 @@
 #include "src/server/slim_server.h"
 
+#include <algorithm>
+
 #include "src/codec/damage_tracker.h"
 #include "src/codec/parallel.h"
 #include "src/obs/metrics.h"
@@ -82,15 +84,36 @@ SlimServer::SlimServer(Simulator* sim, Fabric* fabric, ServerOptions options)
   options_.encoder.damage_tracker = DamageTrackerFromEnv(options_.encoder.damage_tracker);
   endpoint_ = std::make_unique<SlimEndpoint>(fabric, fabric->AddNode());
   endpoint_->set_handler([this](const Message& msg, NodeId from) { OnMessage(msg, from); });
+  tx_ = std::make_unique<TransmitQueue>(sim_, endpoint_.get(), options_.model_cpu_delay);
 }
 
 ServerSession& SlimServer::CreateSession(uint64_t card_id) {
+  const auto existing = card_to_session_.find(card_id);
+  if (existing != card_to_session_.end()) {
+    // The card is being re-bound (re-issued, or a caller asked for a fresh session): the
+    // directory must never hold two sessions for one card, so the old one is reclaimed —
+    // not left dangling in sessions_ behind an overwritten mapping.
+    const uint32_t old_id = existing->second;
+    if (ServerSession* old = FindSession(old_id)) {
+      DetachSession(*old, ReleaseReason::kEvicted);
+      EvictSession(old_id);
+    } else {
+      card_to_session_.erase(existing);
+    }
+  }
   const uint32_t id = next_session_id_++;
   auto session = std::make_unique<ServerSession>(this, id, options_.session_width,
                                                  options_.session_height, options_.encoder);
   ServerSession& ref = *session;
   sessions_[id] = std::move(session);
   card_to_session_[card_id] = id;
+  Lifecycle lc;
+  lc.card_id = card_id;
+  lc.last_heard = sim_->now();
+  lifecycle_[id] = lc;
+  // A freshly created session is detached; if eviction is on, its idle clock starts now so
+  // a session whose attach never arrives (lost on the fabric) does not live forever.
+  ScheduleEviction(id);
   return ref;
 }
 
@@ -104,19 +127,14 @@ ServerSession* SlimServer::SessionForCard(uint64_t card_id) {
   return it == card_to_session_.end() ? nullptr : FindSession(it->second);
 }
 
+SessionState SlimServer::session_state(uint32_t session_id) const {
+  const auto it = lifecycle_.find(session_id);
+  return it == lifecycle_.end() ? SessionState::kDetached : it->second.state;
+}
+
 SimTime SlimServer::Transmit(NodeId console, uint32_t session_id, MessageBody body,
                              SimDuration cpu_cost) {
-  if (!options_.model_cpu_delay || cpu_cost <= 0) {
-    endpoint_->Send(console, session_id, std::move(body));
-    return sim_->now();
-  }
-  const SimTime start = std::max(sim_->now(), cpu_busy_until_);
-  const SimTime done = start + cpu_cost;
-  cpu_busy_until_ = done;
-  sim_->ScheduleAt(done, [this, console, session_id, b = std::move(body)]() mutable {
-    endpoint_->Send(console, session_id, std::move(b));
-  });
-  return done;
+  return tx_->Send(console, session_id, std::move(body), cpu_cost);
 }
 
 bool SlimServer::RegisterMetrics(MetricRegistry* registry, const std::string& prefix) {
@@ -125,30 +143,37 @@ bool SlimServer::RegisterMetrics(MetricRegistry* registry, const std::string& pr
   ok = registry->BindGauge(prefix + ".sessions",
                            [this] { return static_cast<double>(sessions_.size()); }) &&
        ok;
+  ok = registry->BindGauge(prefix + ".cards",
+                           [this] { return static_cast<double>(card_to_session_.size()); }) &&
+       ok;
   ok = registry->BindGauge(prefix + ".devices",
                            [this] { return static_cast<double>(devices_.total_devices()); }) &&
        ok;
+  const std::string lp = prefix + ".lifecycle";
+  ok = registry->BindCounter(lp + ".attaches", &lifecycle_stats_.attaches) && ok;
+  ok = registry->BindCounter(lp + ".detaches", &lifecycle_stats_.detaches) && ok;
+  ok = registry->BindCounter(lp + ".hotdesk_handoffs", &lifecycle_stats_.hotdesk_handoffs) &&
+       ok;
+  ok = registry->BindCounter(lp + ".releases_sent", &lifecycle_stats_.releases_sent) && ok;
+  ok = registry->BindCounter(lp + ".keepalive_timeouts",
+                             &lifecycle_stats_.keepalive_timeouts) &&
+       ok;
+  ok = registry->BindCounter(lp + ".probes_sent", &lifecycle_stats_.probes_sent) && ok;
+  ok = registry->BindCounter(lp + ".evictions", &lifecycle_stats_.evictions) && ok;
+  ok = tx_->RegisterMetrics(registry, prefix + ".txq") && ok;
   return endpoint_->RegisterMetrics(registry, prefix + ".transport") && ok;
 }
 
 void SlimServer::OnMessage(const Message& msg, NodeId from) {
+  // Anything a console says proves it is alive; this is what the keepalive pong (and every
+  // input event) feeds.
+  NoteConsoleAlive(from);
   if (const auto* attach = std::get_if<SessionAttachMsg>(&msg.body)) {
-    if (!auth_.Verify(attach->card_id)) {
-      return;  // Unknown card: the screen stays dark.
-    }
-    ServerSession* session = SessionForCard(attach->card_id);
-    if (session == nullptr) {
-      session = &CreateSession(attach->card_id);
-    }
-    // Hotdesking: if the session is showing on another console, pull it from there.
-    session->AttachConsole(from);
+    HandleAttach(attach->card_id, from);
     return;
   }
   if (const auto* detach = std::get_if<SessionDetachMsg>(&msg.body)) {
-    ServerSession* session = SessionForCard(detach->card_id);
-    if (session != nullptr && session->console() == from) {
-      session->DetachConsole();
-    }
+    HandleDetach(detach->card_id, from);
     return;
   }
   if (std::holds_alternative<KeyEventMsg>(msg.body) ||
@@ -160,10 +185,216 @@ void SlimServer::OnMessage(const Message& msg, NodeId from) {
     return;
   }
   if (const auto* ping = std::get_if<PingMsg>(&msg.body)) {
-    endpoint_->Send(from, msg.session_id, PongMsg{ping->payload});
+    // Through the ordered queue: a pong must not overtake display commands still queued
+    // behind the modeled CPU (it would report a state the console has not seen).
+    Transmit(from, msg.session_id, PongMsg{ping->payload}, 0);
     return;
   }
-  // Status / audio / grants from consoles need no action in the experiments.
+  // Status / audio / grants / pongs from consoles need no further action (the pong's job —
+  // liveness — was done by NoteConsoleAlive above).
+}
+
+void SlimServer::HandleAttach(uint64_t card_id, NodeId from) {
+  if (!auth_.Verify(card_id)) {
+    return;  // Unknown card: the screen stays dark.
+  }
+  ServerSession* session = SessionForCard(card_id);
+  if (session == nullptr) {
+    session = &CreateSession(card_id);
+  }
+  Lifecycle& lc = lifecycle_.at(session->id());
+  if (lc.state == SessionState::kAttached && session->console() != from) {
+    // Hotdesking: the card surfaced at another console. Release the old console first —
+    // the blank notice enters the ordered pipeline ahead of the new console's repaint, so
+    // the old console is told to stop before the new one starts.
+    ++lifecycle_stats_.hotdesk_handoffs;
+    console_to_session_.erase(session->console());
+    ReleaseConsole(session->console(), session->id(), ReleaseReason::kHotdesk);
+  }
+  AttachSessionToConsole(*session, from);
+}
+
+void SlimServer::HandleDetach(uint64_t card_id, NodeId from) {
+  ServerSession* session = SessionForCard(card_id);
+  if (session != nullptr && session->attached() && session->console() == from) {
+    DetachSession(*session, ReleaseReason::kCardRemoved);
+  }
+}
+
+void SlimServer::AttachSessionToConsole(ServerSession& session, NodeId console) {
+  // A console shows one session: if another session was on this screen, it loses it (its
+  // user's card is gone — a new card was inserted over it).
+  const auto shown = console_to_session_.find(console);
+  if (shown != console_to_session_.end() && shown->second != session.id()) {
+    if (ServerSession* old = FindSession(shown->second)) {
+      DetachSession(*old, ReleaseReason::kReplaced);
+    } else {
+      console_to_session_.erase(shown);
+    }
+  }
+  // A re-attach supersedes any in-flight blank notice for this console: without this, a
+  // delayed release re-send could blank the screen right after the repaint below.
+  CancelPendingReleases(console);
+
+  Lifecycle& lc = lifecycle_.at(session.id());
+  lc.state = SessionState::kAttached;
+  lc.last_heard = sim_->now();
+  lc.missed_probes = 0;
+  lc.probe_gap = options_.lifecycle.keepalive_interval;
+  if (lc.evict_event != kInvalidEventId) {
+    sim_->Cancel(lc.evict_event);
+    lc.evict_event = kInvalidEventId;
+  }
+  console_to_session_[console] = session.id();
+  ++lifecycle_stats_.attaches;
+  // ForceRepaintAll + Flush: the console's framebuffer is soft state and starts black.
+  session.AttachConsole(console);
+  ArmProbe(session.id(), lc.probe_gap);
+}
+
+void SlimServer::DetachSession(ServerSession& session, ReleaseReason reason) {
+  const auto it = lifecycle_.find(session.id());
+  if (it == lifecycle_.end() || it->second.state == SessionState::kDetached) {
+    return;
+  }
+  Lifecycle& lc = it->second;
+  lc.state = SessionState::kDetached;
+  if (lc.probe_event != kInvalidEventId) {
+    sim_->Cancel(lc.probe_event);
+    lc.probe_event = kInvalidEventId;
+  }
+  const NodeId console = session.console();
+  const auto shown = console_to_session_.find(console);
+  if (shown != console_to_session_.end() && shown->second == session.id()) {
+    console_to_session_.erase(shown);
+  }
+  ReleaseConsole(console, session.id(), reason);
+  session.DetachConsole();
+  ++lifecycle_stats_.detaches;
+  ScheduleEviction(session.id());
+}
+
+void SlimServer::ReleaseConsole(NodeId console, uint32_t session_id, ReleaseReason reason) {
+  ++lifecycle_stats_.releases_sent;
+  Transmit(console, session_id, SessionReleaseMsg{reason}, 0);
+  // Bounded idempotent re-sends: a lost notice would otherwise leave the console showing
+  // the dead session forever, since nothing else flows there to expose the loss. A newer
+  // release for the same console supersedes the pending copies.
+  CancelPendingReleases(console);
+  if (options_.lifecycle.release_resends <= 0) {
+    return;
+  }
+  auto& pending = pending_releases_[console];
+  for (int i = 1; i <= options_.lifecycle.release_resends; ++i) {
+    pending.push_back(sim_->Schedule(
+        i * options_.lifecycle.release_resend_gap, [this, console, session_id, reason] {
+          ++lifecycle_stats_.releases_sent;
+          Transmit(console, session_id, SessionReleaseMsg{reason}, 0);
+        }));
+  }
+}
+
+void SlimServer::CancelPendingReleases(NodeId console) {
+  const auto it = pending_releases_.find(console);
+  if (it == pending_releases_.end()) {
+    return;
+  }
+  for (const EventId id : it->second) {
+    sim_->Cancel(id);  // no-op for copies that already went out
+  }
+  pending_releases_.erase(it);
+}
+
+void SlimServer::NoteConsoleAlive(NodeId from) {
+  const auto it = console_to_session_.find(from);
+  if (it == console_to_session_.end()) {
+    return;
+  }
+  const auto lc = lifecycle_.find(it->second);
+  if (lc == lifecycle_.end() || lc->second.state != SessionState::kAttached) {
+    return;
+  }
+  lc->second.last_heard = sim_->now();
+  lc->second.missed_probes = 0;
+  lc->second.probe_gap = options_.lifecycle.keepalive_interval;
+}
+
+void SlimServer::ArmProbe(uint32_t session_id, SimDuration gap) {
+  if (options_.lifecycle.keepalive_interval <= 0) {
+    return;
+  }
+  Lifecycle& lc = lifecycle_.at(session_id);
+  if (lc.probe_event != kInvalidEventId) {
+    sim_->Cancel(lc.probe_event);
+  }
+  lc.probe_event = sim_->Schedule(gap, [this, session_id] { OnProbeTimer(session_id); });
+}
+
+void SlimServer::OnProbeTimer(uint32_t session_id) {
+  const auto it = lifecycle_.find(session_id);
+  if (it == lifecycle_.end() || it->second.state != SessionState::kAttached) {
+    return;
+  }
+  Lifecycle& lc = it->second;
+  lc.probe_event = kInvalidEventId;
+  ServerSession* session = FindSession(session_id);
+  if (session == nullptr || !session->attached()) {
+    return;
+  }
+  const SimTime now = sim_->now();
+  if (now - lc.last_heard > options_.lifecycle.keepalive_timeout) {
+    // The console has been silent across a whole probe window: count the miss and back
+    // off the re-probe gap (bounded) so a dead console is not ping-hammered.
+    ++lc.missed_probes;
+    lc.probe_gap = std::min<SimDuration>(lc.probe_gap * 2,
+                                         options_.lifecycle.probe_backoff_max);
+    if (lc.missed_probes >= options_.lifecycle.max_missed_probes) {
+      ++lifecycle_stats_.keepalive_timeouts;
+      DetachSession(*session, ReleaseReason::kLivenessTimeout);
+      return;
+    }
+  } else {
+    lc.missed_probes = 0;
+    lc.probe_gap = options_.lifecycle.keepalive_interval;
+  }
+  ++lifecycle_stats_.probes_sent;
+  Transmit(session->console(), session_id, PingMsg{static_cast<uint64_t>(now)}, 0);
+  ArmProbe(session_id, lc.probe_gap);
+}
+
+void SlimServer::ScheduleEviction(uint32_t session_id) {
+  if (options_.lifecycle.evict_after <= 0) {
+    return;
+  }
+  Lifecycle& lc = lifecycle_.at(session_id);
+  if (lc.evict_event != kInvalidEventId) {
+    sim_->Cancel(lc.evict_event);
+  }
+  lc.evict_event = sim_->Schedule(options_.lifecycle.evict_after,
+                                  [this, session_id] { EvictSession(session_id); });
+}
+
+void SlimServer::EvictSession(uint32_t session_id) {
+  const auto it = lifecycle_.find(session_id);
+  if (it == lifecycle_.end() || it->second.state == SessionState::kAttached) {
+    return;  // reattached (or already gone): the idle clock no longer applies
+  }
+  Lifecycle& lc = it->second;
+  if (lc.probe_event != kInvalidEventId) {
+    sim_->Cancel(lc.probe_event);
+  }
+  if (lc.evict_event != kInvalidEventId) {
+    sim_->Cancel(lc.evict_event);
+  }
+  // Reclaim the card mapping only if it still points here (the card may have been re-bound
+  // to a fresh session by CreateSession).
+  const auto card = card_to_session_.find(lc.card_id);
+  if (card != card_to_session_.end() && card->second == session_id) {
+    card_to_session_.erase(card);
+  }
+  lifecycle_.erase(it);
+  sessions_.erase(session_id);
+  ++lifecycle_stats_.evictions;
 }
 
 }  // namespace slim

@@ -1,5 +1,12 @@
 // The SLIM server: transport endpoint plus the three system daemons the architecture adds
 // (Section 2.4) — authentication manager, session manager, and remote device manager.
+//
+// The session manager is a full lifecycle layer (src/server/lifecycle.h): a session
+// directory keyed by card, an attach/detach state machine with an explicit hotdesk
+// handoff (the old console is released — told to blank — before the new console gets its
+// repaint), console liveness via keepalive probes with timeout->detach, idle-session
+// eviction, and a per-session ordered transmit queue (src/server/transmit_queue.h) that
+// every server->console send goes through.
 
 #ifndef SRC_SERVER_SLIM_SERVER_H_
 #define SRC_SERVER_SLIM_SERVER_H_
@@ -13,7 +20,9 @@
 #include "src/net/fabric.h"
 #include "src/net/transport.h"
 #include "src/server/cpu_model.h"
+#include "src/server/lifecycle.h"
 #include "src/server/session.h"
+#include "src/server/transmit_queue.h"
 #include "src/sim/simulator.h"
 
 namespace slim {
@@ -70,6 +79,20 @@ struct ServerOptions {
   // a single busy-server pipeline (used by the response-time experiments). When false,
   // transmission is immediate and CPU time is only accounted (used for trace generation).
   bool model_cpu_delay = false;
+  // Attach/detach state machine, keepalive liveness and eviction policy.
+  SessionLifecycleOptions lifecycle;
+};
+
+// Counters for every lifecycle transition; readable directly and through the registry
+// (`server.lifecycle.*`).
+struct LifecycleStats {
+  int64_t attaches = 0;           // sessions bound to a console (incl. hotdesk re-binds)
+  int64_t detaches = 0;           // any attached -> detached transition
+  int64_t hotdesk_handoffs = 0;   // attaches that pulled the session from another console
+  int64_t releases_sent = 0;      // SessionReleaseMsg copies sent (incl. re-sends)
+  int64_t keepalive_timeouts = 0; // detaches caused by a silent console
+  int64_t probes_sent = 0;        // keepalive pings sent
+  int64_t evictions = 0;          // idle sessions destroyed and card mappings reclaimed
 };
 
 class SlimServer {
@@ -82,36 +105,91 @@ class SlimServer {
   const ServerOptions& options() const { return options_; }
   AuthenticationManager& auth() { return auth_; }
   RemoteDeviceManager& devices() { return devices_; }
+  const TransmitQueue& tx_queue() const { return *tx_; }
+  const LifecycleStats& lifecycle_stats() const { return lifecycle_stats_; }
 
   // Creates a session bound to a card id (the session manager resumes it on card insert).
+  // If the card was already bound to a live session, that session is evicted first so the
+  // directory never holds two sessions for one card.
   ServerSession& CreateSession(uint64_t card_id);
   ServerSession* FindSession(uint32_t session_id);
   ServerSession* SessionForCard(uint64_t card_id);
   size_t session_count() const { return sessions_.size(); }
+  size_t card_count() const { return card_to_session_.size(); }
+
+  // The lifecycle state of a session (kDetached for unknown ids, which is what an evicted
+  // session reads as).
+  SessionState session_state(uint32_t session_id) const;
+
+  // Detaches `session` from its console (no-op when already detached): the console is sent
+  // a release notice telling it to blank, liveness probing stops, and — when eviction is
+  // configured — the idle timer starts. Exposed so harnesses can force a server-side
+  // detach without a console round trip.
+  void DetachSession(ServerSession& session, ReleaseReason reason);
 
   // Used by ServerSession to push messages to a console; accounts wire CPU time and applies
   // the optional busy-pipeline delay. Returns the simulated time at which the message left.
+  // Every send — display commands, audio, pongs, session control — funnels through the
+  // ordered transmit queue, so zero-cost messages cannot overtake CPU-delayed ones.
   SimTime Transmit(NodeId console, uint32_t session_id, MessageBody body,
                    SimDuration cpu_cost);
 
   // Registers the server's daemons and transport endpoint with `registry`:
-  // `<prefix>.auth.*`, `<prefix>.sessions` / `<prefix>.devices` gauges, and
-  // `<prefix>.transport.*`. Sessions register themselves (per-session prefixes) via
-  // ServerSession::RegisterMetrics.
+  // `<prefix>.auth.*`, `<prefix>.sessions` / `<prefix>.cards` / `<prefix>.devices` gauges,
+  // `<prefix>.lifecycle.*` counters, `<prefix>.txq.*`, and `<prefix>.transport.*`.
+  // Sessions register themselves (per-session prefixes) via ServerSession::RegisterMetrics.
   bool RegisterMetrics(MetricRegistry* registry, const std::string& prefix = "server");
 
  private:
+  // Per-session lifecycle record: the directory entry tying a session to its card, its
+  // state-machine state, and the liveness/eviction timers.
+  struct Lifecycle {
+    uint64_t card_id = 0;
+    SessionState state = SessionState::kDetached;
+    SimTime last_heard = 0;          // last message from the attached console
+    int missed_probes = 0;
+    SimDuration probe_gap = 0;       // current (possibly backed-off) re-probe gap
+    EventId probe_event = kInvalidEventId;
+    EventId evict_event = kInvalidEventId;
+  };
+
   void OnMessage(const Message& msg, NodeId from);
+  void HandleAttach(uint64_t card_id, NodeId from);
+  void HandleDetach(uint64_t card_id, NodeId from);
+
+  // Binds `session` to `console`: updates the directory, cancels eviction, repaints, and
+  // arms the keepalive probe.
+  void AttachSessionToConsole(ServerSession& session, NodeId console);
+  // Sends the release notice (plus bounded idempotent re-sends) to `console`.
+  void ReleaseConsole(NodeId console, uint32_t session_id, ReleaseReason reason);
+  void CancelPendingReleases(NodeId console);
+
+  // Any inbound message from a console counts as liveness for the session shown there.
+  void NoteConsoleAlive(NodeId from);
+  void ArmProbe(uint32_t session_id, SimDuration gap);
+  void OnProbeTimer(uint32_t session_id);
+
+  void ScheduleEviction(uint32_t session_id);
+  // Destroys a (detached) session: directory entry, card mapping and session object.
+  void EvictSession(uint32_t session_id);
 
   Simulator* sim_;
   ServerOptions options_;
   std::unique_ptr<SlimEndpoint> endpoint_;
+  std::unique_ptr<TransmitQueue> tx_;
   AuthenticationManager auth_;
   RemoteDeviceManager devices_;
   std::map<uint32_t, std::unique_ptr<ServerSession>> sessions_;
   std::map<uint64_t, uint32_t> card_to_session_;
+  std::map<uint32_t, Lifecycle> lifecycle_;
+  // Which session each console is currently showing (inverse of session->console()); at
+  // most one session per console, which is the state-machine invariant the handoff keeps.
+  std::map<NodeId, uint32_t> console_to_session_;
+  // Pending release re-send events per console, cancelled when the console re-attaches so
+  // a stale blank notice cannot chase a fresh repaint.
+  std::map<NodeId, std::vector<EventId>> pending_releases_;
+  LifecycleStats lifecycle_stats_;
   uint32_t next_session_id_ = 1;
-  SimTime cpu_busy_until_ = 0;
 };
 
 }  // namespace slim

@@ -1,0 +1,68 @@
+#include "src/server/transmit_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/util/check.h"
+
+namespace slim {
+
+TransmitQueue::TransmitQueue(Simulator* sim, SlimEndpoint* endpoint, bool model_cpu_delay)
+    : sim_(sim), endpoint_(endpoint), model_cpu_delay_(model_cpu_delay) {
+  SLIM_CHECK(sim != nullptr && endpoint != nullptr);
+}
+
+SimTime TransmitQueue::Send(NodeId console, uint32_t session_id, MessageBody body,
+                            SimDuration cpu_cost) {
+  ++sends_;
+  const SimTime now = sim_->now();
+  if (!model_cpu_delay_) {
+    endpoint_->Send(console, session_id, std::move(body));
+    return now;
+  }
+  const SimTime start = std::max(now, busy_until_);
+  const SimTime done = start + std::max<SimDuration>(cpu_cost, 0);
+  busy_until_ = done;
+  if (done <= now && total_depth_ == 0) {
+    // Pipeline idle and nothing in flight ahead of us: the fast path stays a direct send.
+    endpoint_->Send(console, session_id, std::move(body));
+    return now;
+  }
+  // Everything else — including zero-cost messages behind a busy pipeline, and sends at
+  // the exact instant an earlier send is due (equal-time events run in scheduling order,
+  // so FIFO is preserved) — goes through the simulator.
+  ++deferred_;
+  ++depth_[session_id];
+  ++total_depth_;
+  max_depth_ = std::max(max_depth_, total_depth_);
+  sim_->ScheduleAt(done, [this, console, session_id, b = std::move(body)]() mutable {
+    const auto it = depth_.find(session_id);
+    if (it != depth_.end() && --it->second <= 0) {
+      depth_.erase(it);
+    }
+    --total_depth_;
+    endpoint_->Send(console, session_id, std::move(b));
+  });
+  return done;
+}
+
+int64_t TransmitQueue::depth(uint32_t session_id) const {
+  const auto it = depth_.find(session_id);
+  return it == depth_.end() ? 0 : it->second;
+}
+
+bool TransmitQueue::RegisterMetrics(MetricRegistry* registry, const std::string& prefix) {
+  SLIM_CHECK(registry != nullptr);
+  bool ok = registry->BindCounter(prefix + ".sends", &sends_);
+  ok = registry->BindCounter(prefix + ".deferred", &deferred_) && ok;
+  ok = registry->BindGauge(prefix + ".depth",
+                           [this] { return static_cast<double>(total_depth_); }) &&
+       ok;
+  ok = registry->BindGauge(prefix + ".max_depth",
+                           [this] { return static_cast<double>(max_depth_); }) &&
+       ok;
+  return ok;
+}
+
+}  // namespace slim

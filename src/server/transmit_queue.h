@@ -1,0 +1,72 @@
+// The server's single ordering point for everything it sends to consoles.
+//
+// The response-time experiments model the server's render/encode/wire CPU as one busy
+// pipeline: a display command costed at `cpu_cost` leaves the machine only when the
+// pipeline has drained down to it. Before this queue existed, zero-cost traffic (audio,
+// pongs, session control) bypassed the pipeline and could overtake display commands that
+// were still "being processed" — the console would hear an audio sample for a frame it had
+// not been sent yet. TransmitQueue routes every server->console send through the same
+// FIFO: zero-cost messages add no busy time but still queue behind whatever the modeled
+// CPU has already committed to, so no send can overtake an earlier one to any console.
+//
+// Per-session depth is tracked so the telemetry registry can expose how much of the
+// pipeline each session currently occupies (`server.txq.depth`, per-session
+// `<session>.txq_depth`).
+
+#ifndef SRC_SERVER_TRANSMIT_QUEUE_H_
+#define SRC_SERVER_TRANSMIT_QUEUE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/net/transport.h"
+#include "src/sim/simulator.h"
+
+namespace slim {
+
+class MetricRegistry;
+
+class TransmitQueue {
+ public:
+  // When `model_cpu_delay` is false every send is immediate (call order is wire order, so
+  // there is nothing to reorder) and only the counters are maintained.
+  TransmitQueue(Simulator* sim, SlimEndpoint* endpoint, bool model_cpu_delay);
+
+  // Queues one message behind the modeled CPU pipeline and accounts `cpu_cost` of busy
+  // time (clamped to >= 0). Returns the simulated time at which the message leaves.
+  SimTime Send(NodeId console, uint32_t session_id, MessageBody body, SimDuration cpu_cost);
+
+  // Messages accepted / messages that had to wait for the pipeline.
+  int64_t sends() const { return sends_; }
+  int64_t deferred() const { return deferred_; }
+
+  // Messages currently queued behind the pipeline (total and for one session).
+  int64_t total_depth() const { return total_depth_; }
+  int64_t depth(uint32_t session_id) const;
+  // High-water mark of total_depth over the queue's lifetime.
+  int64_t max_depth() const { return max_depth_; }
+
+  SimTime busy_until() const { return busy_until_; }
+
+  // Registers `<prefix>.sends`, `<prefix>.deferred` counters and `<prefix>.depth`,
+  // `<prefix>.max_depth` gauges.
+  bool RegisterMetrics(MetricRegistry* registry, const std::string& prefix);
+
+ private:
+  Simulator* sim_;
+  SlimEndpoint* endpoint_;
+  bool model_cpu_delay_;
+
+  SimTime busy_until_ = 0;
+  int64_t sends_ = 0;
+  int64_t deferred_ = 0;
+  int64_t total_depth_ = 0;
+  int64_t max_depth_ = 0;
+  // Entries are erased when they drain to zero so evicted sessions leave nothing behind.
+  std::map<uint32_t, int64_t> depth_;
+};
+
+}  // namespace slim
+
+#endif  // SRC_SERVER_TRANSMIT_QUEUE_H_

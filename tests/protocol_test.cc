@@ -138,6 +138,16 @@ TEST(MessageTest, InputAndControlRoundTrips) {
   EXPECT_EQ(std::get<PongMsg>(RoundTrip(Message{1, 8, PongMsg{42}}).body), (PongMsg{42}));
 }
 
+TEST(MessageTest, SessionReleaseRoundTripsEveryReason) {
+  for (const ReleaseReason reason :
+       {ReleaseReason::kHotdesk, ReleaseReason::kCardRemoved, ReleaseReason::kLivenessTimeout,
+        ReleaseReason::kEvicted, ReleaseReason::kReplaced}) {
+    const Message back = RoundTrip(Message{1, 9, SessionReleaseMsg{reason}});
+    EXPECT_EQ(std::get<SessionReleaseMsg>(back.body), (SessionReleaseMsg{reason}));
+    EXPECT_EQ(TypeOfMessage(back), MessageType::kSessionRelease);
+  }
+}
+
 TEST(MessageTest, AudioRoundTrip) {
   AudioMsg audio;
   audio.sample_rate = 44100;
