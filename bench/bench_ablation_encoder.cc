@@ -228,6 +228,9 @@ int main() {
   using namespace slim;
   PrintHeader("Ablations - encoder heuristics, granularity, CSCS depth, transport, allocator",
               "DESIGN.md section 5 (design-choice index)");
+  // SLIM_TRACE=<path.json> captures the run as a Chrome trace (chrome://tracing,
+  // Perfetto); zero cost when unset.
+  ScopedTraceFromEnv trace;
   BenchReporter report("ablation_encoder",
                        "Encoder heuristics, granularity, CSCS depth, transport, allocator");
   EncoderHeuristicAblation(&report);

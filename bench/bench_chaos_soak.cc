@@ -9,12 +9,16 @@
 //   SLIM_SOAK_EVENTS  input events per profile (default 300)
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench/bench_util.h"
 #include "src/apps/benchmark_apps.h"
 #include "src/console/console.h"
 #include "src/net/fabric.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/latency_audit.h"
 #include "src/obs/metrics.h"
+#include "src/obs/stats_stream.h"
 #include "src/server/slim_server.h"
 #include "src/sim/simulator.h"
 #include "src/util/table.h"
@@ -35,10 +39,22 @@ int main() {
   // SLIM_TRACE=out.json captures the recovery machinery as a Chrome trace: NACK instants,
   // replay stalls (missing-seq -> replayed/given-up spans) and the decode pipeline.
   ScopedTraceFromEnv trace;
+  // When SLIM_TRACE is off, the flight recorder's ring buffer stands in as the global
+  // tracer so SLO breaches can still dump the last few thousand events as a Chrome trace.
+  ScopedFlightRecorder flight;
   BenchReporter report("chaos_soak", "Session recovery under fabric fault injection");
 
   const int events = EnvInt("SLIM_SOAK_EVENTS", 300);
   report.Knob("SLIM_SOAK_EVENTS", events);
+  // Flight dumps land next to the bench report by default so a default soak run leaves
+  // inspectable evidence for every breach (SLIM_FLIGHT_DIR overrides).
+  LatencyAuditOptions audit_options = LatencyAudit::OptionsFromEnv();
+  if (audit_options.flight_dir.empty()) {
+    const char* bench_dir = std::getenv("SLIM_BENCH_DIR");
+    audit_options.flight_dir = (bench_dir != nullptr && *bench_dir != '\0') ? bench_dir : ".";
+  }
+  int64_t total_breaches = 0;
+  int64_t total_flight_dumps = 0;
   std::vector<ProfileRow> rows;
   rows.push_back({"healthy", {}});
   {
@@ -73,7 +89,7 @@ int main() {
   }
 
   TextTable table({"profile", "dropped", "dup", "corrupt", "trunc", "nacks", "replays",
-                   "cksum-rejects", "heal-rounds", "converged"});
+                   "cksum-rejects", "slo-breach", "heal-rounds", "converged"});
   for (const ProfileRow& row : rows) {
     Simulator sim;
     Fabric fabric(&sim, {});
@@ -85,6 +101,14 @@ int main() {
     fabric.RegisterMetrics(&registry);
     server.RegisterMetrics(&registry);
     console.RegisterMetrics(&registry);
+    // Per-keystroke latency audit: every input event is tracked dispatch -> present and
+    // checked against the interactive SLO; breaches dump the flight recorder's ring.
+    LatencyAudit audit(audit_options);
+    audit.RegisterMetrics(&registry);
+    LatencyAudit::SetGlobal(&audit);
+    // SLIM_STATS_JSONL=<path> streams this registry for `slimtop -f` (each profile rewrites
+    // the file, so the surviving stream is the sickest fabric's).
+    auto streamer = MaybeStreamStatsFromEnv(&sim, &registry);
     const uint64_t card = server.auth().IssueCard(1);
     ServerSession& session = server.CreateSession(card);
     auto app = MakeApplication(AppKind::kPim, &session, 1234);
@@ -123,6 +147,9 @@ int main() {
       converged =
           session.framebuffer().ContentHash() == console.framebuffer().ContentHash();
     }
+    // Settle outstanding display commands, then close the audit ledger: anything still
+    // open (e.g. lost past the transport's give-up horizon) is folded in as incomplete.
+    audit.FinalizeAll();
     const FaultStats& f = fabric.fault_stats();
     const EndpointStats& cs = console.endpoint().stats();
     const EndpointStats& ss = server.endpoint().stats();
@@ -135,6 +162,7 @@ int main() {
          Format("%lld", static_cast<long long>(cs.replays_sent + ss.replays_sent)),
          Format("%lld", static_cast<long long>(cs.datagrams_corrupted +
                                                ss.datagrams_corrupted)),
+         Format("%lld", static_cast<long long>(audit.breaches())),
          Format("%d", heal_rounds), converged ? "yes" : "NO"});
     const std::string base = row.name;
     report.Metric(base + ".nacks", cs.nacks_sent + ss.nacks_sent, "count");
@@ -143,10 +171,24 @@ int main() {
                   "count");
     report.Metric(base + ".heal_rounds", int64_t{heal_rounds}, "rounds");
     report.Metric(base + ".converged", int64_t{converged ? 1 : 0}, "bool");
+    report.Metric(base + ".audit_events", audit.events_completed(), "count");
+    report.Metric(base + ".slo_breaches", audit.breaches(), "count");
+    report.Metric(base + ".gave_up", audit.gave_up(), "count");
+    report.Metric(base + ".flight_dumps", audit.flight_dumps(), "count");
+    total_breaches += audit.breaches();
+    total_flight_dumps += audit.flight_dumps();
     // The last profile's full registry snapshot rides along in the report (every profile
-    // overwrites the previous, so the surviving one is the sickest fabric).
+    // overwrites the previous, so the surviving one is the sickest fabric) — including the
+    // session.latency.* histograms the audit just finalized.
     report.AttachSnapshot(registry);
+    LatencyAudit::SetGlobal(nullptr);
   }
   std::printf("%s", table.Render().c_str());
+  if (total_breaches > 0) {
+    std::printf("SLO breaches across profiles: %lld (%lld flight dumps in %s)\n",
+                static_cast<long long>(total_breaches),
+                static_cast<long long>(total_flight_dumps),
+                audit_options.flight_dir.c_str());
+  }
   return 0;
 }

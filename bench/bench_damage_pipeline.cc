@@ -30,6 +30,7 @@
 #include "src/codec/encoder.h"
 #include "src/codec/row_hash.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
 
@@ -131,6 +132,9 @@ int main() {
   const int32_t height = EnvInt("SLIM_DP_HEIGHT", 1024);
   const int reps = EnvInt("SLIM_DP_REPS", 25);
 
+  // SLIM_TRACE=<path.json> captures the run as a Chrome trace (chrome://tracing,
+  // Perfetto); zero cost when unset.
+  ScopedTraceFromEnv trace;
   BenchReporter report("damage_pipeline",
                        "Shadow-frame damage refinement vs full-damage encoding on a "
                        "scroll-heavy workload");

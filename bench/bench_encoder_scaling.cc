@@ -21,6 +21,7 @@
 #include "src/apps/content.h"
 #include "src/codec/parallel.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
 
@@ -70,6 +71,9 @@ int main() {
   const int32_t width = EnvInt("SLIM_ENCODE_WIDTH", 1280);
   const int32_t height = EnvInt("SLIM_ENCODE_HEIGHT", 1024);
 
+  // SLIM_TRACE=<path.json> captures the run as a Chrome trace (chrome://tracing,
+  // Perfetto); zero cost when unset.
+  ScopedTraceFromEnv trace;
   BenchReporter report("encoder_scaling",
                        "Wall-clock encode speedup of the band-parallel worker pool");
   report.Knob("SLIM_ENCODE_REPS", reps);

@@ -43,6 +43,9 @@ int main() {
   using namespace slim;
   PrintHeader("Figure 10 - SMP scaling, Netscape users per CPU (1-8 CPUs)",
               "Schmidt et al., SOSP'99, Figure 10");
+  // SLIM_TRACE=<path.json> captures the run as a Chrome trace (chrome://tracing,
+  // Perfetto); zero cost when unset.
+  ScopedTraceFromEnv trace;
   BenchReporter report("fig10_smp_scaling", "SMP scaling, Netscape users per CPU");
   const SimDuration horizon = Seconds(EnvInt("SLIM_SECONDS", 60));
 

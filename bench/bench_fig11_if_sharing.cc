@@ -61,6 +61,9 @@ int main() {
   using namespace slim;
   PrintHeader("Figure 11 - Round-trip latency vs users sharing the IF",
               "Schmidt et al., SOSP'99, Figure 11");
+  // SLIM_TRACE=<path.json> captures the run as a Chrome trace (chrome://tracing,
+  // Perfetto); zero cost when unset.
+  ScopedTraceFromEnv trace;
   BenchReporter report("fig11_if_sharing", "Round-trip latency vs users sharing the IF");
   const SimDuration horizon = Seconds(EnvInt("SLIM_SECONDS", 60));
 

@@ -133,6 +133,9 @@ int main() {
   using namespace slim;
   PrintHeader("Figure 12 - Day-long load profiles of two installations",
               "Schmidt et al., SOSP'99, Figure 12 / Section 6.3");
+  // SLIM_TRACE=<path.json> captures the run as a Chrome trace (chrome://tracing,
+  // Perfetto); zero cost when unset.
+  ScopedTraceFromEnv trace;
   BenchReporter report("fig12_case_studies", "Day-long load profiles of two installations");
   Report(&report, "site_a", "Site A: university lab (E250-class)", /*lab=*/true, 2, 50,
          0xa11);

@@ -15,6 +15,9 @@ int main() {
   using namespace slim;
   PrintHeader("Figure 3 - CDF of pixels changed per input event",
               "Schmidt et al., SOSP'99, Figure 3");
+  // SLIM_TRACE=<path.json> captures the run as a Chrome trace (chrome://tracing,
+  // Perfetto); zero cost when unset.
+  ScopedTraceFromEnv trace;
   BenchReporter report("fig3_pixel_updates", "CDF of pixels changed per input event");
 
   TextTable table({"Application", "events", "median px", "<10Kpx (paper ~50%+)",

@@ -16,6 +16,9 @@ int main() {
   using namespace slim;
   PrintHeader("Figure 4 - Efficiency of SLIM protocol display commands",
               "Schmidt et al., SOSP'99, Figure 4");
+  // SLIM_TRACE=<path.json> captures the run as a Chrome trace (chrome://tracing,
+  // Perfetto); zero cost when unset.
+  ScopedTraceFromEnv trace;
   BenchReporter report("fig4_compression", "Efficiency of SLIM protocol display commands");
 
   for (int k = 0; k < kAppKindCount; ++k) {

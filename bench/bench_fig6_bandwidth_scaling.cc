@@ -86,6 +86,9 @@ int main() {
   using namespace slim;
   PrintHeader("Figure 6 - Added packet delays at reduced link bandwidth (Netscape)",
               "Schmidt et al., SOSP'99, Figure 6 / Section 5.4");
+  // SLIM_TRACE=<path.json> captures the run as a Chrome trace (chrome://tracing,
+  // Perfetto); zero cost when unset.
+  ScopedTraceFromEnv trace;
   BenchReporter report("fig6_bandwidth_scaling",
                        "Added packet delays at reduced link bandwidth");
 

@@ -15,6 +15,9 @@ int main() {
   using namespace slim;
   PrintHeader("Figure 8 - Average bandwidth: X vs SLIM vs raw pixels",
               "Schmidt et al., SOSP'99, Figure 8");
+  // SLIM_TRACE=<path.json> captures the run as a Chrome trace (chrome://tracing,
+  // Perfetto); zero cost when unset.
+  ScopedTraceFromEnv trace;
   BenchReporter report("fig8_avg_bandwidth", "Average bandwidth: X vs SLIM vs raw pixels");
 
   TextTable table({"Application", "X (Mbps)", "SLIM (Mbps)", "Raw pixels (Mbps)",

@@ -46,6 +46,9 @@ int main() {
   using namespace slim;
   PrintHeader("Figure 9 - Added yardstick latency vs active users (1 CPU)",
               "Schmidt et al., SOSP'99, Figure 9");
+  // SLIM_TRACE=<path.json> captures the run as a Chrome trace (chrome://tracing,
+  // Perfetto); zero cost when unset.
+  ScopedTraceFromEnv trace;
   BenchReporter report("fig9_cpu_sharing", "Added yardstick latency vs active users");
   const SimDuration horizon = Seconds(EnvInt("SLIM_SECONDS", 60));
 

@@ -113,6 +113,9 @@ int main() {
   using namespace slim;
   PrintHeader("Related work - SLIM server-push vs VNC-style client-pull",
               "Schmidt et al., SOSP'99, Section 8.3");
+  // SLIM_TRACE=<path.json> captures the run as a Chrome trace (chrome://tracing,
+  // Perfetto); zero cost when unset.
+  ScopedTraceFromEnv trace;
   BenchReporter report("related_vnc", "SLIM server-push vs VNC-style client-pull");
   TextTable table({"system", "keystroke->pixels", "server delta CPU (12s run)", "KB sent"});
   const RemoteResult slim_result = MeasureSlim();

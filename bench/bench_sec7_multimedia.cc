@@ -183,6 +183,9 @@ int main() {
   using namespace slim;
   PrintHeader("Section 7 - Multimedia applications",
               "Schmidt et al., SOSP'99, Sections 7.1-7.3");
+  // SLIM_TRACE=<path.json> captures the run as a Chrome trace (chrome://tracing,
+  // Perfetto); zero cost when unset.
+  ScopedTraceFromEnv trace;
   BenchReporter report("sec7_multimedia", "Multimedia applications on SLIM");
   const SimDuration horizon = Seconds(EnvInt("SLIM_SECONDS", 20));
 

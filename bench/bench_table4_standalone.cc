@@ -135,6 +135,9 @@ int main() {
   using namespace slim;
   PrintHeader("Table 4 - Stand-alone benchmarks for the SLIM console",
               "Schmidt et al., SOSP'99, Table 4");
+  // SLIM_TRACE=<path.json> captures the run as a Chrome trace (chrome://tracing,
+  // Perfetto); zero cost when unset.
+  ScopedTraceFromEnv trace;
   BenchReporter report("table4_standalone", "Stand-alone benchmarks for the SLIM console");
 
   const SimDuration echo = EchoResponseTime(Microseconds(430));

@@ -130,6 +130,9 @@ int main() {
   using namespace slim;
   PrintHeader("Table 5 - SLIM console protocol processing costs",
               "Schmidt et al., SOSP'99, Table 5");
+  // SLIM_TRACE=<path.json> captures the run as a Chrome trace (chrome://tracing,
+  // Perfetto); zero cost when unset.
+  ScopedTraceFromEnv trace;
   BenchReporter report("table5_console_costs", "SLIM console protocol processing costs");
 
   struct Row {

@@ -1,0 +1,44 @@
+# bench_diff_smoke: reruns one deterministic harness at the pinned baseline scale and
+# gates it against the committed report in bench/baselines/ via bench_diff. Invoked by
+# ctest (see top-level CMakeLists.txt) as:
+#
+#   cmake -DHARNESS=<path> -DBENCH_DIFF=<path> -DBASELINE=<path> -DOUT_DIR=<scratch>
+#         -P bench_diff_smoke.cmake
+#
+# The simulation is deterministic, so the committed baseline reproduces bit-for-bit on any
+# box with the same toolchain; a tiny tolerance absorbs JSON double round-tripping. To
+# refresh the baseline after an intentional behavior change, rerun the harness with the
+# env below and copy the report over bench/baselines/ (bench_diff prints the drift).
+
+foreach(var HARNESS BENCH_DIFF BASELINE OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "bench_diff_smoke: ${var} not set")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${OUT_DIR})
+get_filename_component(name ${HARNESS} NAME)
+
+# Pinned scale: must stay in lockstep with the committed baseline's `scale` block
+# (bench_diff refuses to compare mismatched knobs).
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+    SLIM_USERS=2 SLIM_MINUTES=1 SLIM_SECONDS=5 SLIM_SOAK_EVENTS=20
+    SLIM_BENCH_DIR=${OUT_DIR}
+    ${HARNESS}
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_diff_smoke: ${name} exited with ${rc}")
+endif()
+
+get_filename_component(report ${BASELINE} NAME)
+execute_process(
+  COMMAND ${BENCH_DIFF} --tol 0.000001 ${BASELINE} ${OUT_DIR}/${report}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "bench_diff_smoke: ${name} drifted from bench/baselines/${report} (${rc}); if the "
+    "change is intentional, regenerate the baseline at the pinned scale")
+endif()
+message(STATUS "bench_diff_smoke: ${name} matches ${report}")

@@ -22,12 +22,17 @@ if(harness_count EQUAL 0)
   message(FATAL_ERROR "bench_smoke: no harnesses found in ${BENCH_DIR}")
 endif()
 
+# Every sim-session harness honors SLIM_TRACE; bench_micro_codec is wall-clock
+# (google-benchmark) and traces nothing, so it is the one expected gap.
+set(expected_traces 0)
 foreach(harness ${harnesses})
   get_filename_component(name ${harness} NAME)
   set(extra_args "")
   if(name STREQUAL "bench_micro_codec")
     # Wall-clock microbenchmarks: one repetition at minimal measuring time.
     set(extra_args --benchmark_min_time=0.01)
+  else()
+    math(EXPR expected_traces "${expected_traces} + 1")
   endif()
   message(STATUS "bench_smoke: ${name}")
   execute_process(
@@ -36,6 +41,7 @@ foreach(harness ${harnesses})
       SLIM_DP_FRAMES=6 SLIM_DP_REPS=3
       SLIM_CHURN_SESSIONS=2 SLIM_CHURN_CONSOLES=3 SLIM_CHURN_OPS=24
       SLIM_BENCH_DIR=${OUT_DIR}
+      SLIM_TRACE=${OUT_DIR}/TRACE_${name}.json
       ${harness} ${extra_args}
     RESULT_VARIABLE rc
     OUTPUT_QUIET)
@@ -56,4 +62,19 @@ execute_process(COMMAND ${VALIDATOR} ${reports} RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "bench_smoke: report validation failed (${rc})")
 endif()
-message(STATUS "bench_smoke: ${report_count} reports validated")
+
+# Every trace the harnesses wrote must load as Chrome trace JSON (parseable array,
+# balanced B/E spans) — SLIM_TRACE was set above, so a harness that ignores it or writes
+# a corrupt trace fails here.
+file(GLOB traces ${OUT_DIR}/TRACE_*.json)
+list(LENGTH traces trace_count)
+if(NOT trace_count EQUAL expected_traces)
+  message(FATAL_ERROR
+    "bench_smoke: expected ${expected_traces} TRACE_*.json files but found ${trace_count} "
+    "in ${OUT_DIR} - some harness dropped its SLIM_TRACE output")
+endif()
+execute_process(COMMAND ${VALIDATOR} --trace ${traces} RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_smoke: trace validation failed (${rc})")
+endif()
+message(STATUS "bench_smoke: ${report_count} reports and ${trace_count} traces validated")

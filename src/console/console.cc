@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/codec/decoder.h"
+#include "src/obs/latency_audit.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/check.h"
@@ -83,6 +84,9 @@ void Console::OnMessage(const Message& msg, NodeId from) {
           if (const auto floor = release_floor_.find(from);
               floor != release_floor_.end() && msg.seq != 0 && msg.seq < floor->second) {
             ++post_release_drops_;
+            if (LatencyAudit* audit = LatencyAudit::Global()) {
+              audit->NoteConsoleDrop(endpoint_->node(), msg.seq);
+            }
             return;
           }
           if (msg.seq != 0) {
@@ -137,13 +141,20 @@ void Console::ProcessRelease(const Message& msg, NodeId from) {
 }
 
 void Console::ProcessDisplayCommand(const Message& msg, const DisplayCommand& cmd) {
+  LatencyAudit* const audit = LatencyAudit::Global();
   if (!ValidateCommand(cmd)) {
     ++commands_rejected_;
+    if (audit != nullptr) {
+      audit->NoteConsoleDrop(endpoint_->node(), msg.seq);
+    }
     return;
   }
   const size_t wire_bytes = WireSize(cmd);
   if (queued_bytes_ + static_cast<int64_t>(wire_bytes) > options_.queue_limit_bytes) {
     ++commands_dropped_;
+    if (audit != nullptr) {
+      audit->NoteConsoleDrop(endpoint_->node(), msg.seq);
+    }
     return;
   }
   queued_bytes_ += static_cast<int64_t>(wire_bytes);
@@ -177,6 +188,9 @@ void Console::ProcessDisplayCommand(const Message& msg, const DisplayCommand& cm
   record.seq = msg.seq;
   busy_until_ = record.completion;
   busy_time_ += cost;
+  if (audit != nullptr) {
+    audit->NoteDecodeStart(endpoint_->node(), record.seq, record.arrival);
+  }
   if (decode_ns_hist_ != nullptr) {
     decode_ns_hist_->Record(cost);
     queue_wait_ns_hist_->Record(record.start - record.arrival);
@@ -201,12 +215,18 @@ void Console::ProcessDisplayCommand(const Message& msg, const DisplayCommand& cm
       // ValidateCommand is framebuffer-agnostic, so a COPY whose source rect exits the
       // framebuffer (corruption, malice) is only caught here; reject, don't apply.
       ++commands_rejected_;
+      if (LatencyAudit* a = LatencyAudit::Global()) {
+        a->NoteConsoleDrop(endpoint_->node(), record.seq);
+      }
       return;
     }
     ++commands_applied_;
     if (Tracer* tracer = Tracer::Global()) {
       tracer->Instant(record.completion, "console.present", "console", kTraceTidConsole,
                       {{"seq", JsonValue(static_cast<int64_t>(record.seq))}});
+    }
+    if (LatencyAudit* a = LatencyAudit::Global()) {
+      a->NotePresent(endpoint_->node(), record.seq, record.completion);
     }
     if (options_.record_service_log) {
       service_log_.push_back(record);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/latency_audit.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/protocol/wire.h"
@@ -73,7 +74,9 @@ bool SlimEndpoint::RegisterMetrics(MetricRegistry* registry, const std::string& 
 }
 
 void SlimEndpoint::NoteMissing(PeerRecvState& state, uint64_t seq) {
-  if (Tracer::Global() != nullptr) {
+  // First-noticed times feed both the tracer's replay-stall spans and the latency audit's
+  // replay-stage accounting; record them when either consumer is installed.
+  if (Tracer::Global() != nullptr || LatencyAudit::Global() != nullptr) {
     state.missing_since.emplace(seq, fabric_->simulator()->now());
   }
 }
@@ -86,12 +89,17 @@ void SlimEndpoint::ResolveMissing(PeerRecvState& state, uint64_t seq, const char
   if (it == state.missing_since.end()) {
     return;
   }
+  const SimTime now = fabric_->simulator()->now();
   if (Tracer* tracer = Tracer::Global()) {
-    const SimTime now = fabric_->simulator()->now();
     tracer->Complete(it->second, now - it->second, "transport.replay_stall", "transport",
                      kTraceTidTransportBase + static_cast<int>(self_),
                      {{"seq", JsonValue(static_cast<int64_t>(seq))},
                       {"reason", JsonValue(reason)}});
+  }
+  if (LatencyAudit* audit = LatencyAudit::Global()) {
+    // We are the receiving endpoint: the (self, seq) key is how the audit mapped the
+    // departed command, and a give-up reason breaches its input event immediately.
+    audit->NoteReplayResolved(self_, seq, it->second, now, reason);
   }
   state.missing_since.erase(it);
 }

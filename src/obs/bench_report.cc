@@ -204,6 +204,37 @@ std::optional<std::string> ValidateBenchReport(const JsonValue& doc) {
       return at + ".unit missing or not a string (" + name->as_string() + ")";
     }
   }
+  // The registry snapshot is optional, but when present it must have the full shape —
+  // including the histogram percentile summaries (p50/p90/p99/p999) the latency audit
+  // reports through; a snapshot writer that drops them breaks the trajectory consumers.
+  if (const JsonValue* reg = doc.Find("metrics_registry"); reg != nullptr) {
+    if (!reg->is_object()) {
+      return "'metrics_registry' is not an object";
+    }
+    for (const char* section : {"counters", "gauges", "histograms"}) {
+      const JsonValue* v = reg->Find(section);
+      if (v == nullptr || !v->is_object()) {
+        return std::string("metrics_registry.") + section + " missing or not an object";
+      }
+    }
+    for (const auto& [name, summary] : reg->Find("histograms")->as_object()) {
+      const std::string at = "metrics_registry.histograms." + name;
+      if (!summary.is_object()) {
+        return at + " is not an object";
+      }
+      for (const char* key :
+           {"count", "sum", "min", "max", "mean", "p50", "p90", "p99", "p999"}) {
+        const JsonValue* v = summary.Find(key);
+        if (v == nullptr || !v->is_number()) {
+          return at + "." + key + " missing or not a number";
+        }
+      }
+      const JsonValue* buckets = summary.Find("buckets");
+      if (buckets == nullptr || !buckets->is_array()) {
+        return at + ".buckets missing or not an array";
+      }
+    }
+  }
   return std::nullopt;
 }
 

@@ -1,5 +1,6 @@
 #include "src/obs/metrics.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstdio>
 
@@ -43,9 +44,25 @@ int64_t ExpHistogram::PercentileUpperBound(double p) const {
   const double target = p * static_cast<double>(count_);
   int64_t running = 0;
   for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
     running += buckets_[i];
     if (static_cast<double>(running) >= target) {
-      return BucketUpperBound(i);
+      // Linear interpolation within the bucket, assuming samples spread uniformly across
+      // it: tightens the raw power-of-two quantization (up to 2x) considerably. The exact
+      // min/max clamp the edges, so single-bucket distributions come back exact.
+      int64_t lower = i == 0 ? 0 : BucketUpperBound(i - 1) + 1;
+      int64_t upper = BucketUpperBound(i);
+      lower = std::max(lower, min_);
+      upper = std::min(upper, max_);
+      if (upper <= lower) {
+        return lower;
+      }
+      const double before = static_cast<double>(running - buckets_[i]);
+      const double frac = (target - before) / static_cast<double>(buckets_[i]);
+      return lower + static_cast<int64_t>(
+                         frac * static_cast<double>(upper - lower) + 0.5);
     }
   }
   return max_;
@@ -175,7 +192,9 @@ JsonValue MetricRegistry::Snapshot() const {
         summary.emplace_back("max", JsonValue(h.max()));
         summary.emplace_back("mean", JsonValue(h.mean()));
         summary.emplace_back("p50", JsonValue(h.PercentileUpperBound(0.5)));
+        summary.emplace_back("p90", JsonValue(h.PercentileUpperBound(0.9)));
         summary.emplace_back("p99", JsonValue(h.PercentileUpperBound(0.99)));
+        summary.emplace_back("p999", JsonValue(h.PercentileUpperBound(0.999)));
         // Sparse bucket list: [bucket_upper_bound, count] for nonzero buckets only.
         JsonArray buckets;
         for (int i = 0; i < ExpHistogram::kBuckets; ++i) {

@@ -50,9 +50,11 @@ class ExpHistogram {
   double mean() const {
     return count_ > 0 ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
   }
-  // Upper edge of the bucket holding the p-th fraction of samples (p in (0, 1]); a
-  // power-of-two-quantized percentile, good to within 2x, which is what bucket histograms
-  // buy in exchange for O(1) memory.
+  // Estimated p-th percentile (p in (0, 1]): the bucket holding the p-th sample is found
+  // exactly, then the position within it is linearly interpolated (and clamped by the
+  // exact min/max), tightening the raw power-of-two quantization's 2x error bound to the
+  // within-bucket interpolation error. Single-bucket distributions come back exact at the
+  // edges.
   int64_t PercentileUpperBound(double p) const;
 
   const std::array<int64_t, kBuckets>& buckets() const { return buckets_; }

@@ -8,21 +8,25 @@ namespace slim {
 
 Tracer* Tracer::global_ = nullptr;
 
-void Tracer::Push(Event event) {
-  event.seq = next_seq_++;
+void Tracer::Stamp(Event* event) {
+  event->seq = next_seq_++;
   if (current_input_ >= 0) {
     // Attach the correlation id unless the caller already did.
     bool present = false;
-    for (const auto& [k, v] : event.args) {
+    for (const auto& [k, v] : event->args) {
       if (k == "input_id") {
         present = true;
         break;
       }
     }
     if (!present) {
-      event.args.emplace_back("input_id", JsonValue(current_input_));
+      event->args.emplace_back("input_id", JsonValue(current_input_));
     }
   }
+}
+
+void Tracer::Push(Event event) {
+  Stamp(&event);
   events_.push_back(std::move(event));
 }
 
@@ -114,7 +118,10 @@ std::string Tracer::Json() const {
     }
     return a->seq < b->seq;
   });
+  return EmitJson(ordered);
+}
 
+std::string Tracer::EmitJson(const std::vector<const Event*>& ordered) const {
   std::string out = "[\n";
   bool first = true;
   const auto comma = [&] {

@@ -39,6 +39,7 @@ constexpr int kTraceTidTransportBase = 16;
 class Tracer {
  public:
   Tracer() = default;
+  virtual ~Tracer() = default;
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
@@ -66,8 +67,9 @@ class Tracer {
   size_t open_spans() const;
 
   // Serializes the buffered events as a Chrome trace JSON array, sorted by timestamp
-  // (metadata first). Safe to call repeatedly.
-  std::string Json() const;
+  // (metadata first). Safe to call repeatedly. The FlightRecorder subclass overrides this
+  // to additionally drop B/E halves whose partner was overwritten by the ring.
+  virtual std::string Json() const;
   bool WriteFile(const std::string& path) const;
 
   // --- Process-global tracer ---
@@ -76,7 +78,7 @@ class Tracer {
   static Tracer* Global() { return global_; }
   static void SetGlobal(Tracer* tracer) { global_ = tracer; }
 
- private:
+ protected:
   struct Event {
     SimTime ts = 0;
     SimDuration dur = 0;
@@ -88,7 +90,13 @@ class Tracer {
     uint64_t seq = 0;  // record order; ties on ts sort by it
   };
 
-  void Push(Event event);
+  // Stamps record order + input-id correlation; every emission funnels through here.
+  void Stamp(Event* event);
+  // Storage policy: the base class appends without bound; the flight recorder overwrites
+  // its ring's oldest slot.
+  virtual void Push(Event event);
+  // Shared serializer: metadata records then `ordered`, already sorted by (ts, seq).
+  std::string EmitJson(const std::vector<const Event*>& ordered) const;
 
   std::vector<Event> events_;
   std::map<int, std::vector<std::string>> open_;  // per-tid stack of open B span names
@@ -97,6 +105,7 @@ class Tracer {
   int64_t last_input_id_ = 0;
   uint64_t next_seq_ = 0;
 
+ private:
   static Tracer* global_;
 };
 

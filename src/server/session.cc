@@ -1,5 +1,6 @@
 #include "src/server/session.h"
 
+#include "src/obs/latency_audit.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/server/slim_server.h"
@@ -76,14 +77,22 @@ void ServerSession::DeliverInput(const Message& msg) {
   // sends inherit the input_id, which is the join key against console-side decode spans
   // (via their seq args).
   Tracer* const tracer = Tracer::Global();
+  LatencyAudit* const audit = LatencyAudit::Global();
   SimDuration render0 = 0;
   SimDuration encode0 = 0;
   SimDuration wire0 = 0;
+  int64_t input_id = -1;
   if (tracer != nullptr) {
-    const int64_t input_id = tracer->NextInputId();
+    input_id = tracer->NextInputId();
     tracer->set_current_input(input_id);
     tracer->Begin(now, "input.dispatch", "server", kTraceTidServer,
                   {{"session", JsonValue(int64_t{id_})}});
+  }
+  if (audit != nullptr) {
+    // Shares the tracer's id when both are on, so trace spans and audit rows correlate.
+    input_id = audit->BeginInput(id_, now, input_id);
+  }
+  if (tracer != nullptr || audit != nullptr) {
     render0 = render_time_;
     encode0 = encode_time_;
     wire0 = wire_time_;
@@ -116,6 +125,10 @@ void ServerSession::DeliverInput(const Message& msg) {
     stage("server.wire_cpu", wire_time_ - wire0);
     tracer->End(cursor, kTraceTidServer);
     tracer->set_current_input(-1);
+  }
+  if (audit != nullptr) {
+    audit->EndInput(input_id, render_time_ - render0, encode_time_ - encode0,
+                    wire_time_ - wire0, now);
   }
 }
 

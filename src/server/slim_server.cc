@@ -4,6 +4,7 @@
 
 #include "src/codec/damage_tracker.h"
 #include "src/codec/parallel.h"
+#include "src/obs/latency_audit.h"
 #include "src/obs/metrics.h"
 #include "src/util/check.h"
 
@@ -271,6 +272,13 @@ void SlimServer::DetachSession(ServerSession& session, ReleaseReason reason) {
   ReleaseConsole(console, session.id(), reason);
   session.DetachConsole();
   ++lifecycle_stats_.detaches;
+  if (LatencyAudit* audit = LatencyAudit::Global();
+      audit != nullptr && (reason == ReleaseReason::kLivenessTimeout ||
+                           reason == ReleaseReason::kEvicted)) {
+    // A silent console or a forced eviction is an incident, not a hotdesk move: capture
+    // the flight ring while the events leading up to it are still in it.
+    audit->NoteForcedDetach(session.id(), static_cast<int>(reason), sim_->now());
+  }
   ScheduleEviction(session.id());
 }
 

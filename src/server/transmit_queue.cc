@@ -2,11 +2,27 @@
 
 #include <algorithm>
 #include <utility>
+#include <variant>
 
+#include "src/obs/latency_audit.h"
 #include "src/obs/metrics.h"
 #include "src/util/check.h"
 
 namespace slim {
+
+namespace {
+
+// Only display commands are latency-audited: they are the messages whose console-side
+// present closes an input event's end-to-end path (audio/pongs/control never present).
+bool IsDisplayCommand(const MessageBody& body) {
+  return std::holds_alternative<SetCommand>(body) ||
+         std::holds_alternative<BitmapCommand>(body) ||
+         std::holds_alternative<FillCommand>(body) ||
+         std::holds_alternative<CopyCommand>(body) ||
+         std::holds_alternative<CscsCommand>(body);
+}
+
+}  // namespace
 
 TransmitQueue::TransmitQueue(Simulator* sim, SlimEndpoint* endpoint, bool model_cpu_delay)
     : sim_(sim), endpoint_(endpoint), model_cpu_delay_(model_cpu_delay) {
@@ -17,8 +33,21 @@ SimTime TransmitQueue::Send(NodeId console, uint32_t session_id, MessageBody bod
                             SimDuration cpu_cost) {
   ++sends_;
   const SimTime now = sim_->now();
+  // Latency-audit correlation, captured at enqueue time: the input event being dispatched
+  // right now is the one this display command belongs to, even if the actual endpoint
+  // send is deferred behind the busy pipeline.
+  LatencyAudit* const enqueue_audit = LatencyAudit::Global();
+  const int64_t input_id =
+      enqueue_audit != nullptr && IsDisplayCommand(body) ? enqueue_audit->current_input() : -1;
+  if (input_id >= 0) {
+    // Hold the audit entry open now: the send below may be deferred past EndInput.
+    enqueue_audit->NoteEnqueued(input_id);
+  }
   if (!model_cpu_delay_) {
-    endpoint_->Send(console, session_id, std::move(body));
+    const uint64_t seq = endpoint_->Send(console, session_id, std::move(body));
+    if (input_id >= 0) {
+      enqueue_audit->NoteDeparture(input_id, console, seq, now);
+    }
     return now;
   }
   const SimTime start = std::max(now, busy_until_);
@@ -26,7 +55,10 @@ SimTime TransmitQueue::Send(NodeId console, uint32_t session_id, MessageBody bod
   busy_until_ = done;
   if (done <= now && total_depth_ == 0) {
     // Pipeline idle and nothing in flight ahead of us: the fast path stays a direct send.
-    endpoint_->Send(console, session_id, std::move(body));
+    const uint64_t seq = endpoint_->Send(console, session_id, std::move(body));
+    if (input_id >= 0) {
+      enqueue_audit->NoteDeparture(input_id, console, seq, now);
+    }
     return now;
   }
   // Everything else — including zero-cost messages behind a busy pipeline, and sends at
@@ -36,13 +68,17 @@ SimTime TransmitQueue::Send(NodeId console, uint32_t session_id, MessageBody bod
   ++depth_[session_id];
   ++total_depth_;
   max_depth_ = std::max(max_depth_, total_depth_);
-  sim_->ScheduleAt(done, [this, console, session_id, b = std::move(body)]() mutable {
+  sim_->ScheduleAt(done, [this, console, session_id, input_id, done,
+                          b = std::move(body)]() mutable {
     const auto it = depth_.find(session_id);
     if (it != depth_.end() && --it->second <= 0) {
       depth_.erase(it);
     }
     --total_depth_;
-    endpoint_->Send(console, session_id, std::move(b));
+    const uint64_t seq = endpoint_->Send(console, session_id, std::move(b));
+    if (LatencyAudit* audit = LatencyAudit::Global(); audit != nullptr && input_id >= 0) {
+      audit->NoteDeparture(input_id, console, seq, done);
+    }
   });
   return done;
 }

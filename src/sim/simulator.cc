@@ -8,20 +8,48 @@ namespace slim {
 
 EventId Simulator::Schedule(SimDuration delay, Callback cb) {
   SLIM_CHECK(delay >= 0);
-  return ScheduleAt(now_ + delay, std::move(cb));
+  return ScheduleAtImpl(now_ + delay, std::move(cb), /*daemon=*/false);
 }
 
 EventId Simulator::ScheduleAt(SimTime t, Callback cb) {
+  return ScheduleAtImpl(t, std::move(cb), /*daemon=*/false);
+}
+
+EventId Simulator::ScheduleDaemon(SimDuration delay, Callback cb) {
+  SLIM_CHECK(delay >= 0);
+  return ScheduleAtImpl(now_ + delay, std::move(cb), /*daemon=*/true);
+}
+
+EventId Simulator::ScheduleAtImpl(SimTime t, Callback cb, bool daemon) {
   SLIM_CHECK(t >= now_);
   const EventId id = next_id_++;
   queue_.push(QueueEntry{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(cb));
+  callbacks_.emplace(id, Pending{std::move(cb), daemon});
+  if (!daemon) {
+    ++live_non_daemon_;
+  }
   return id;
 }
 
-void Simulator::Cancel(EventId id) { callbacks_.erase(id); }
+void Simulator::Cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) {
+    return;
+  }
+  if (!it->second.daemon) {
+    --live_non_daemon_;
+  }
+  callbacks_.erase(it);
+}
 
 bool Simulator::Step() {
+  if (live_non_daemon_ == 0) {
+    return false;  // Empty, or nothing left but daemon observers.
+  }
+  return StepAny();
+}
+
+bool Simulator::StepAny() {
   while (!queue_.empty()) {
     const QueueEntry entry = queue_.top();
     queue_.pop();
@@ -29,7 +57,10 @@ bool Simulator::Step() {
     if (it == callbacks_.end()) {
       continue;  // Cancelled.
     }
-    Callback cb = std::move(it->second);
+    Callback cb = std::move(it->second.cb);
+    if (!it->second.daemon) {
+      --live_non_daemon_;
+    }
     callbacks_.erase(it);
     SLIM_DCHECK(entry.time >= now_);
     now_ = entry.time;
@@ -56,7 +87,7 @@ void Simulator::RunUntil(SimTime t) {
     if (entry.time > t) {
       break;
     }
-    Step();
+    StepAny();
   }
   now_ = t;
 }

@@ -36,13 +36,20 @@ class Simulator {
   // Schedules cb at absolute time t (t >= now()).
   EventId ScheduleAt(SimTime t, Callback cb);
 
+  // Schedules a daemon event: it fires like any other event while the simulation is
+  // otherwise alive, but does not by itself keep Run()/Step() going — when only daemon
+  // events remain, Run() returns and they stay queued for a later Run()/RunUntil. Periodic
+  // observers (the stats streamer) use this so a self-rescheduling sampler cannot turn
+  // `sim.Run()` into an infinite loop.
+  EventId ScheduleDaemon(SimDuration delay, Callback cb);
+
   // Cancels a pending event. Cancelling an already-fired or unknown id is a no-op.
   void Cancel(EventId id);
 
-  // Runs one event; returns false if the queue was empty.
+  // Runs one event; returns false if the queue was empty or held only daemon events.
   bool Step();
 
-  // Runs until the queue is empty.
+  // Runs until the queue is empty (daemon events excepted).
   void Run();
 
   // Runs all events with time <= t, then advances the clock to exactly t.
@@ -69,13 +76,22 @@ class Simulator {
       return seq > other.seq;
     }
   };
+  struct Pending {
+    Callback cb;
+    bool daemon;
+  };
+
+  EventId ScheduleAtImpl(SimTime t, Callback cb, bool daemon);
+  // Runs the next event regardless of daemon-ness (RunUntil's building block).
+  bool StepAny();
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 1;
   EventId next_id_ = 1;
   uint64_t events_executed_ = 0;
+  size_t live_non_daemon_ = 0;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
-  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_map<EventId, Pending> callbacks_;
 };
 
 }  // namespace slim

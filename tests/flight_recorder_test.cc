@@ -1,0 +1,180 @@
+// Tracer edge cases (unbalanced ends, interleaved tids) and FlightRecorder ring-buffer
+// properties: a dump taken after the ring has wrapped must still parse, stay sorted, and
+// carry only balanced B/E pairs — the invariants Perfetto needs to load the file at all.
+
+#include "src/obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/obs/trace.h"
+#include "src/util/rng.h"
+
+namespace slim {
+namespace {
+
+// Parses a trace dump and checks the Perfetto-load invariants: every element is an object
+// with a ph; non-metadata events carry nondecreasing timestamps; every tid's B/E spans
+// nest. Fills `events` (when non-null) with the parsed array for further inspection.
+void CheckTraceInvariants(const std::string& json, std::vector<JsonValue>* events = nullptr) {
+  std::string error;
+  const auto doc = JsonParse(json, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  ASSERT_TRUE(doc->is_array());
+  std::map<int64_t, std::vector<std::string>> open;
+  double last_ts = -1.0;
+  for (const JsonValue& event : doc->as_array()) {
+    ASSERT_TRUE(event.is_object());
+    const JsonValue* ph = event.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->as_string() == "M") {
+      continue;
+    }
+    const JsonValue* ts = event.Find("ts");
+    ASSERT_NE(ts, nullptr);
+    EXPECT_GE(ts->as_double(), last_ts) << "events out of order";
+    last_ts = ts->as_double();
+    const int64_t tid = event.Find("tid")->as_int();
+    const std::string name = event.Find("name")->as_string();
+    if (ph->as_string() == "B") {
+      open[tid].push_back(name);
+    } else if (ph->as_string() == "E") {
+      ASSERT_FALSE(open[tid].empty()) << "unbalanced E on tid " << tid;
+      open[tid].pop_back();
+    }
+  }
+  for (const auto& [tid, stack] : open) {
+    EXPECT_TRUE(stack.empty()) << "unclosed B on tid " << tid;
+  }
+  if (events != nullptr) {
+    *events = doc->as_array();
+  }
+}
+
+TEST(TracerTest, UnbalancedEndIsDroppedPerTid) {
+  Tracer tracer;
+  tracer.Begin(10, "a", "t", 1);
+  tracer.Begin(20, "b", "t", 2);
+  tracer.End(30, 3);  // no open span on tid 3: dropped, not emitted
+  tracer.End(40, 1);
+  tracer.End(50, 2);
+  tracer.End(60, 1);  // tid 1 already closed: dropped
+  tracer.End(70, 2);  // tid 2 already closed: dropped
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  EXPECT_EQ(tracer.event_count(), 4u);  // 2 B + 2 E survive
+  CheckTraceInvariants(tracer.Json());
+}
+
+TEST(TracerTest, InterleavedTidsKeepIndependentStacks) {
+  Tracer tracer;
+  // tid 1 nests two spans while tid 2 opens and closes across them; each tid's stack must
+  // be independent for the end-on-tid-2 not to close tid 1's inner span.
+  tracer.Begin(10, "outer", "t", 1);
+  tracer.Begin(20, "other", "t", 2);
+  tracer.Begin(30, "inner", "t", 1);
+  tracer.End(40, 2);
+  tracer.End(50, 1);  // closes "inner"
+  EXPECT_EQ(tracer.open_spans(), 1u);  // "outer" still open
+  tracer.End(60, 1);
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  CheckTraceInvariants(tracer.Json());
+}
+
+TEST(TracerTest, OpenSpansCountsDanglingBeginsAfterDroppedEnds) {
+  Tracer tracer;
+  tracer.Begin(10, "a", "t", 1);
+  tracer.Begin(20, "b", "t", 1);
+  tracer.Begin(30, "c", "t", 2);
+  tracer.End(40, 1);
+  tracer.End(50, 7);  // dropped; must not disturb the real stacks
+  EXPECT_EQ(tracer.open_spans(), 2u);
+  // A dump with dangling B spans is the base tracer's contract (they render as unfinished
+  // spans); only the flight recorder balance-filters. Parse-ability still holds.
+  std::string error;
+  EXPECT_TRUE(JsonParse(tracer.Json(), &error).has_value()) << error;
+}
+
+TEST(FlightRecorderTest, RingKeepsAtMostCapacityEvents) {
+  FlightRecorder recorder(/*capacity=*/32);
+  for (int i = 0; i < 100; ++i) {
+    recorder.Instant(i * 10, "tick", "t", 1);
+  }
+  EXPECT_EQ(recorder.size(), 32u);
+  EXPECT_EQ(recorder.total_recorded(), 100u);
+  std::vector<JsonValue> events;
+  CheckTraceInvariants(recorder.Json(), &events);
+  // The survivors are the newest 32 instants.
+  int instants = 0;
+  for (const JsonValue& event : events) {
+    if (event.Find("ph")->as_string() == "i") {
+      ++instants;
+      EXPECT_GE(event.Find("ts")->as_double(), 68 * 10 / 1000.0);
+    }
+  }
+  EXPECT_EQ(instants, 32);
+}
+
+TEST(FlightRecorderTest, WraparoundDumpIsSortedBalancedAndParseable) {
+  // Property test: drive the ring well past capacity with randomly interleaved spans,
+  // instants, and completes across several tids, dumping repeatedly. Every dump must
+  // satisfy the trace invariants even though overwrite orphans B/E halves arbitrarily.
+  FlightRecorder recorder(/*capacity=*/64);
+  Rng rng(1234);
+  std::map<int, int> open_depth;
+  SimTime now = 0;
+  for (int i = 0; i < 1000; ++i) {
+    now += static_cast<SimTime>(rng.NextBelow(5000));
+    const int tid = 1 + static_cast<int>(rng.NextBelow(4));
+    switch (rng.NextBelow(4)) {
+      case 0:
+        recorder.Begin(now, "span" + std::to_string(i % 7), "t", tid);
+        ++open_depth[tid];
+        break;
+      case 1:
+        if (open_depth[tid] > 0) {
+          recorder.End(now, tid);
+          --open_depth[tid];
+        } else {
+          recorder.End(now, tid);  // unbalanced: must be dropped, not recorded
+        }
+        break;
+      case 2:
+        recorder.Instant(now, "mark", "t", tid);
+        break;
+      default:
+        recorder.Complete(now, static_cast<SimDuration>(rng.NextBelow(900)), "x", "t", tid);
+        break;
+    }
+    if (i % 250 == 249) {
+      CheckTraceInvariants(recorder.Json());  // mid-run dumps while spans are open
+    }
+  }
+  EXPECT_GT(recorder.total_recorded(), recorder.capacity());
+  EXPECT_EQ(recorder.size(), recorder.capacity());
+  CheckTraceInvariants(recorder.Json());
+}
+
+TEST(FlightRecorderTest, ScopedInstallRespectsAnExistingGlobalTracer) {
+  ASSERT_EQ(Tracer::Global(), nullptr);
+  {
+    ScopedFlightRecorder scoped;
+    EXPECT_NE(scoped.recorder(), nullptr);
+    EXPECT_EQ(Tracer::Global(), scoped.recorder());
+    {
+      // A full tracer is already installed (SLIM_TRACE scenario): the inner scope must
+      // defer rather than displace it.
+      ScopedFlightRecorder inner;
+      EXPECT_EQ(inner.recorder(), nullptr);
+      EXPECT_EQ(Tracer::Global(), scoped.recorder());
+    }
+    EXPECT_EQ(Tracer::Global(), scoped.recorder());
+  }
+  EXPECT_EQ(Tracer::Global(), nullptr);
+}
+
+}  // namespace
+}  // namespace slim

@@ -1,0 +1,194 @@
+// Compares two BENCH_*.json reports (schema v1) metric-by-metric and exits nonzero when
+// the current run has drifted from the baseline beyond tolerance — the regression gate for
+// the deterministic simulation benchmarks.
+//
+//   bench_diff [options] BASELINE.json CURRENT.json
+//     --tol FRAC          default relative tolerance (default 0.0: the simulation is
+//                         deterministic, so exact equality is the natural baseline)
+//     --tol NAME=FRAC     per-metric override (repeatable; NAME may also be a prefix
+//                         ending in '.', matching every metric under it)
+//     --skip SUBSTR       ignore metrics whose name contains SUBSTR (repeatable)
+//     --allow-missing     a metric present on one side only is a note, not a failure
+//
+// Rules: both files must validate against the report schema and describe the same bench
+// at the same scale knobs (comparing different scales is always a bug, not a regression).
+// For each metric, |cur - base| <= tol * max(|base|, |cur|) passes; a zero baseline with a
+// nonzero tolerance passes only if the current value is also zero.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/bench_report.h"
+#include "src/obs/json.h"
+
+namespace {
+
+using slim::JsonValue;
+
+std::optional<JsonValue> LoadReport(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot open %s\n", path);
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  auto doc = slim::JsonParse(buffer.str(), &error);
+  if (!doc.has_value()) {
+    std::fprintf(stderr, "bench_diff: %s: json parse: %s\n", path, error.c_str());
+    return std::nullopt;
+  }
+  if (const auto schema_error = slim::ValidateBenchReport(*doc)) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", path, schema_error->c_str());
+    return std::nullopt;
+  }
+  return doc;
+}
+
+std::map<std::string, double> MetricMap(const JsonValue& doc) {
+  std::map<std::string, double> out;
+  for (const JsonValue& row : doc.Find("metrics")->as_array()) {
+    out[row.Find("name")->as_string()] = row.Find("value")->as_double();
+  }
+  return out;
+}
+
+struct Options {
+  double default_tol = 0.0;
+  // Exact names and '.'-terminated prefixes; longest match wins.
+  std::vector<std::pair<std::string, double>> overrides;
+  std::vector<std::string> skips;
+  bool allow_missing = false;
+};
+
+double ToleranceFor(const Options& options, const std::string& name) {
+  double tol = options.default_tol;
+  size_t best = 0;
+  for (const auto& [pattern, value] : options.overrides) {
+    const bool match = pattern == name || (pattern.back() == '.' &&
+                                           name.rfind(pattern, 0) == 0);
+    if (match && pattern.size() >= best) {
+      best = pattern.size();
+      tol = value;
+    }
+  }
+  return tol;
+}
+
+bool Skipped(const Options& options, const std::string& name) {
+  for (const std::string& skip : options.skips) {
+    if (name.find(skip) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff [--tol FRAC | --tol NAME=FRAC]... [--skip SUBSTR]...\n"
+               "                  [--allow-missing] BASELINE.json CURRENT.json\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tol") == 0 && i + 1 < argc) {
+      const char* spec = argv[++i];
+      if (const char* eq = std::strchr(spec, '=')) {
+        options.overrides.emplace_back(std::string(spec, eq - spec), std::atof(eq + 1));
+      } else {
+        options.default_tol = std::atof(spec);
+      }
+    } else if (std::strcmp(argv[i], "--skip") == 0 && i + 1 < argc) {
+      options.skips.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--allow-missing") == 0) {
+      options.allow_missing = true;
+    } else if (argv[i][0] == '-') {
+      return Usage();
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.size() != 2) {
+    return Usage();
+  }
+  const auto base_doc = LoadReport(files[0]);
+  const auto cur_doc = LoadReport(files[1]);
+  if (!base_doc.has_value() || !cur_doc.has_value()) {
+    return 2;
+  }
+
+  // Same bench, same scale: a diff across different workloads is operator error.
+  if (base_doc->Find("bench")->as_string() != cur_doc->Find("bench")->as_string()) {
+    std::fprintf(stderr, "bench_diff: bench mismatch: '%s' vs '%s'\n",
+                 base_doc->Find("bench")->as_string().c_str(),
+                 cur_doc->Find("bench")->as_string().c_str());
+    return 2;
+  }
+  for (const auto& [knob, value] : base_doc->Find("scale")->as_object()) {
+    const JsonValue* cur = cur_doc->Find("scale")->Find(knob);
+    if (cur == nullptr || cur->as_int() != value.as_int()) {
+      std::fprintf(stderr, "bench_diff: scale mismatch on %s: %lld vs %s\n", knob.c_str(),
+                   static_cast<long long>(value.as_int()),
+                   cur != nullptr ? std::to_string(cur->as_int()).c_str() : "(absent)");
+      return 2;
+    }
+  }
+
+  const auto base = MetricMap(*base_doc);
+  const auto cur = MetricMap(*cur_doc);
+  int failures = 0;
+  int compared = 0;
+  for (const auto& [name, base_value] : base) {
+    if (Skipped(options, name)) {
+      continue;
+    }
+    const auto it = cur.find(name);
+    if (it == cur.end()) {
+      if (options.allow_missing) {
+        std::printf("note  %-48s missing from current\n", name.c_str());
+      } else {
+        std::printf("FAIL  %-48s missing from current\n", name.c_str());
+        ++failures;
+      }
+      continue;
+    }
+    ++compared;
+    const double cur_value = it->second;
+    const double tol = ToleranceFor(options, name);
+    const double scale = std::max(std::fabs(base_value), std::fabs(cur_value));
+    const double delta = std::fabs(cur_value - base_value);
+    if (delta <= tol * scale) {
+      continue;
+    }
+    std::printf("FAIL  %-48s base %.6g -> cur %.6g (%+.2f%%, tol %.2f%%)\n", name.c_str(),
+                base_value, cur_value,
+                base_value != 0.0 ? 100.0 * (cur_value - base_value) / std::fabs(base_value)
+                                  : HUGE_VAL,
+                100.0 * tol);
+    ++failures;
+  }
+  for (const auto& [name, value] : cur) {
+    if (!Skipped(options, name) && base.find(name) == base.end()) {
+      // New metrics are growth, not regression — note them either way.
+      std::printf("note  %-48s new in current (%.6g)\n", name.c_str(), value);
+    }
+  }
+  std::printf("bench_diff: %s: %d compared, %d failed\n",
+              base_doc->Find("bench")->as_string().c_str(), compared, failures);
+  return failures > 0 ? 1 : 0;
+}

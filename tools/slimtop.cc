@@ -1,0 +1,324 @@
+// slimtop: live text dashboard over a SLIM metrics-snapshot stream.
+//
+// A harness run with SLIM_STATS_JSONL=<path> (see src/obs/stats_stream.h) appends one
+// registry snapshot per sim-time interval to <path>. slimtop renders those samples as a
+// per-session dashboard — end-to-end latency percentiles, SLO breach counts, transmit
+// queue depth, bytes per event, chaos/transport counters — either live (`-f` follows the
+// file while the harness runs, like top) or as an end-of-run summary (default: read the
+// whole file, print the final state and per-sample delta of the last interval).
+//
+//   bench_chaos_soak &   SLIM_STATS_JSONL=/tmp/soak.jsonl
+//   slimtop -f /tmp/soak.jsonl
+//
+// The dashboard is harness-agnostic: sections appear when their metrics exist in the
+// stream (session.latency.*, *.txq.*, *.transport.*, fabric.fault.*, console.*), so any
+// bench harness that registers the standard subsystems gets a sensible display for free.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/util/time.h"
+
+namespace {
+
+using slim::JsonParse;
+using slim::JsonValue;
+
+struct Sample {
+  int64_t index = 0;
+  slim::SimTime t_ns = 0;
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  // name -> {count, p50, p90, p99, max} (already summarized by the registry).
+  struct Hist {
+    int64_t count = 0;
+    int64_t p50 = 0;
+    int64_t p90 = 0;
+    int64_t p99 = 0;
+    int64_t max = 0;
+  };
+  std::map<std::string, Hist> hists;
+};
+
+std::optional<Sample> ParseSample(const std::string& line) {
+  std::string error;
+  const auto doc = JsonParse(line, &error);
+  if (!doc.has_value() || !doc->is_object()) {
+    std::fprintf(stderr, "slimtop: bad sample line: %s\n", error.c_str());
+    return std::nullopt;
+  }
+  Sample s;
+  if (const JsonValue* v = doc->Find("sample"); v != nullptr && v->is_number()) {
+    s.index = v->as_int();
+  }
+  if (const JsonValue* v = doc->Find("t_ns"); v != nullptr && v->is_number()) {
+    s.t_ns = v->as_int();
+  }
+  const JsonValue* snap = doc->Find("snapshot");
+  if (snap == nullptr || !snap->is_object()) {
+    return std::nullopt;
+  }
+  if (const JsonValue* c = snap->Find("counters"); c != nullptr && c->is_object()) {
+    for (const auto& [name, value] : c->as_object()) {
+      s.counters[name] = value.as_int();
+    }
+  }
+  if (const JsonValue* g = snap->Find("gauges"); g != nullptr && g->is_object()) {
+    for (const auto& [name, value] : g->as_object()) {
+      s.gauges[name] = value.as_double();
+    }
+  }
+  if (const JsonValue* h = snap->Find("histograms"); h != nullptr && h->is_object()) {
+    for (const auto& [name, summary] : h->as_object()) {
+      if (!summary.is_object()) {
+        continue;
+      }
+      Sample::Hist hist;
+      const auto num = [&](const char* key) -> int64_t {
+        const JsonValue* v = summary.Find(key);
+        return v != nullptr && v->is_number() ? v->as_int() : 0;
+      };
+      hist.count = num("count");
+      hist.p50 = num("p50");
+      hist.p90 = num("p90");
+      hist.p99 = num("p99");
+      hist.max = num("max");
+      s.hists[name] = hist;
+    }
+  }
+  return s;
+}
+
+double Ms(int64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+void RenderLatency(const Sample& s) {
+  const auto e2e = s.hists.find("session.latency.e2e_ns");
+  if (e2e == s.hists.end()) {
+    return;
+  }
+  const auto counter = [&](const char* name) -> int64_t {
+    const auto it = s.counters.find(name);
+    return it == s.counters.end() ? 0 : it->second;
+  };
+  std::printf("latency   events %-8lld p50 %8.2fms  p90 %8.2fms  p99 %8.2fms  max %8.2fms\n",
+              static_cast<long long>(e2e->second.count), Ms(e2e->second.p50),
+              Ms(e2e->second.p90), Ms(e2e->second.p99), Ms(e2e->second.max));
+  std::printf("slo       breaches %-6lld gave_up %-6lld incomplete %-6lld flight_dumps %lld\n",
+              static_cast<long long>(counter("session.latency.breaches")),
+              static_cast<long long>(counter("session.latency.gave_up")),
+              static_cast<long long>(counter("session.latency.incomplete")),
+              static_cast<long long>(counter("session.latency.flight_dumps")));
+  // Stage decomposition: p99 per stage plus breach attribution.
+  static constexpr const char* kStages[] = {"render",  "encode", "wire_cpu", "txq",
+                                            "network", "replay", "decode"};
+  std::printf("stages    ");
+  for (const char* stage : kStages) {
+    const auto it = s.hists.find(std::string("session.latency.") + stage + "_ns");
+    if (it != s.hists.end() && it->second.count > 0) {
+      std::printf("%s p99 %.2fms  ", stage, Ms(it->second.p99));
+    }
+  }
+  std::printf("\n");
+  bool any = false;
+  for (const char* stage : kStages) {
+    const int64_t n = counter((std::string("session.latency.breach_by.") + stage).c_str());
+    if (n > 0) {
+      if (!any) {
+        std::printf("breach_by ");
+        any = true;
+      }
+      std::printf("%s %lld  ", stage, static_cast<long long>(n));
+    }
+  }
+  if (any) {
+    std::printf("\n");
+  }
+  // Per-session rows: session.latency.s<id>.e2e_ns.
+  for (const auto& [name, hist] : s.hists) {
+    constexpr const char* kPrefix = "session.latency.s";
+    if (name.rfind(kPrefix, 0) != 0 || name.find(".e2e_ns") == std::string::npos) {
+      continue;
+    }
+    const std::string id = name.substr(std::strlen(kPrefix),
+                                       name.size() - std::strlen(kPrefix) - 7);
+    std::printf("  s%-6s events %-8lld p50 %8.2fms  p99 %8.2fms  max %8.2fms\n", id.c_str(),
+                static_cast<long long>(hist.count), Ms(hist.p50), Ms(hist.p99), Ms(hist.max));
+  }
+}
+
+void RenderGauges(const Sample& s) {
+  bool any = false;
+  for (const auto& [name, value] : s.gauges) {
+    const bool interesting = name.find("txq") != std::string::npos ||
+                             name.find("queued_bytes") != std::string::npos ||
+                             name.find("sessions") != std::string::npos ||
+                             name.find("cards") != std::string::npos;
+    if (!interesting || value == 0.0) {
+      continue;
+    }
+    if (!any) {
+      std::printf("gauges    ");
+      any = true;
+    }
+    std::printf("%s %.0f  ", name.c_str(), value);
+  }
+  if (any) {
+    std::printf("\n");
+  }
+}
+
+void RenderDeltas(const Sample& cur, const Sample* prev) {
+  // Busiest counters over the last interval, by absolute delta (whole-run totals when
+  // there is no previous sample yet). bytes/event when both are visible.
+  const double dt = prev != nullptr && cur.t_ns > prev->t_ns
+                        ? slim::ToSeconds(cur.t_ns - prev->t_ns)
+                        : slim::ToSeconds(cur.t_ns);
+  std::vector<std::pair<int64_t, std::string>> rows;
+  for (const auto& [name, value] : cur.counters) {
+    int64_t delta = value;
+    if (prev != nullptr) {
+      const auto it = prev->counters.find(name);
+      delta = value - (it == prev->counters.end() ? 0 : it->second);
+    }
+    if (delta != 0) {
+      rows.emplace_back(delta, name);
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  if (rows.size() > 16) {
+    rows.resize(16);
+  }
+  if (!rows.empty()) {
+    std::printf("%s\n", prev != nullptr ? "deltas (last interval)" : "totals");
+    for (const auto& [delta, name] : rows) {
+      std::printf("  %-44s %12lld  %10.1f/s\n", name.c_str(),
+                  static_cast<long long>(delta),
+                  dt > 0 ? static_cast<double>(delta) / dt : 0.0);
+    }
+  }
+  // Interactive efficiency: wire bytes per input event, when both counters exist.
+  const auto bytes = cur.counters.find("session.bytes_sent");
+  const auto events = cur.hists.find("session.latency.e2e_ns");
+  if (bytes != cur.counters.end() && events != cur.hists.end() && events->second.count > 0) {
+    std::printf("wire      %.1f bytes/event over %lld events\n",
+                static_cast<double>(bytes->second) /
+                    static_cast<double>(events->second.count),
+                static_cast<long long>(events->second.count));
+  }
+}
+
+void Render(const Sample& cur, const Sample* prev, bool clear) {
+  if (clear) {
+    std::printf("\033[H\033[2J");
+  }
+  std::printf("slimtop — sample %lld  t=%.3fs\n", static_cast<long long>(cur.index),
+              slim::ToSeconds(cur.t_ns));
+  RenderLatency(cur);
+  RenderGauges(cur);
+  RenderDeltas(cur, prev);
+  std::fflush(stdout);
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: slimtop [-f] [--idle-exit-ms N] <stats.jsonl>\n"
+               "  -f                follow the file live (top-style; default renders the\n"
+               "                    whole file once and prints the final dashboard)\n"
+               "  --idle-exit-ms N  in follow mode, exit after N ms without new samples\n"
+               "                    (default: follow until killed)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool follow = false;
+  long idle_exit_ms = -1;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-f") == 0) {
+      follow = true;
+    } else if (std::strcmp(argv[i], "--idle-exit-ms") == 0 && i + 1 < argc) {
+      idle_exit_ms = std::strtol(argv[++i], nullptr, 10);
+    } else if (argv[i][0] == '-') {
+      return Usage();
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr) {
+    return Usage();
+  }
+
+  std::FILE* f = nullptr;
+  // In follow mode the harness may not have created the file yet.
+  for (int attempt = 0;; ++attempt) {
+    f = std::fopen(path, "r");
+    if (f != nullptr || !follow || attempt >= 100) {
+      break;
+    }
+    usleep(100 * 1000);
+  }
+  if (f == nullptr) {
+    std::fprintf(stderr, "slimtop: cannot open %s\n", path);
+    return 1;
+  }
+
+  const bool tty = isatty(fileno(stdout)) != 0;
+  std::optional<Sample> prev;
+  std::optional<Sample> cur;
+  std::string line;
+  long idle_ms = 0;
+  int samples_seen = 0;
+  char buf[1 << 16];
+  for (;;) {
+    if (std::fgets(buf, sizeof(buf), f) != nullptr) {
+      line += buf;
+      if (line.empty() || line.back() != '\n') {
+        continue;  // partial line: the writer is mid-append
+      }
+      auto sample = ParseSample(line);
+      line.clear();
+      if (!sample.has_value()) {
+        continue;
+      }
+      ++samples_seen;
+      prev = std::move(cur);
+      cur = std::move(sample);
+      idle_ms = 0;
+      if (follow) {
+        Render(*cur, prev.has_value() ? &*prev : nullptr, tty);
+      }
+      continue;
+    }
+    if (!follow) {
+      break;  // end of file: fall through to the final dashboard
+    }
+    std::clearerr(f);
+    usleep(200 * 1000);
+    idle_ms += 200;
+    if (idle_exit_ms >= 0 && idle_ms >= idle_exit_ms && samples_seen > 0) {
+      break;
+    }
+  }
+  std::fclose(f);
+  if (samples_seen == 0) {
+    std::fprintf(stderr, "slimtop: no samples in %s\n", path);
+    return 1;
+  }
+  if (!follow) {
+    Render(*cur, prev.has_value() ? &*prev : nullptr, /*clear=*/false);
+  }
+  return 0;
+}

@@ -1,29 +1,100 @@
 // Validates BENCH_*.json artifacts against the BenchReporter schema.
 //
 //   validate_bench_json FILE...
+//   validate_bench_json --trace TRACE...
 //
 // Exits nonzero (listing every failure) if any file is unreadable, unparseable, or does
 // not conform. Used by the bench_smoke ctest target, which runs every harness at a tiny
 // scale and feeds the resulting reports through this binary — so a schema change that
 // forgets to update writer and validator together fails CI instead of silently producing
 // unparseable perf artifacts.
+//
+// With --trace, the files are instead checked as Chrome trace JSON (the SLIM_TRACE /
+// flight-recorder output): a top-level array of event objects, each with a one-char "ph"
+// and numeric "ts", and with every tid's B/E duration events properly nested — the same
+// invariants chrome://tracing and Perfetto rely on to load the file at all.
 
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/obs/bench_report.h"
 #include "src/obs/json.h"
 
+namespace {
+
+std::optional<std::string> ValidateChromeTrace(const slim::JsonValue& doc) {
+  if (!doc.is_array()) {
+    return "trace is not a JSON array of events";
+  }
+  std::map<int64_t, std::vector<std::string>> open;  // tid -> stack of open B names
+  size_t spans = 0;
+  for (size_t i = 0; i < doc.as_array().size(); ++i) {
+    const slim::JsonValue& event = doc.as_array()[i];
+    const std::string at = "event[" + std::to_string(i) + "]";
+    if (!event.is_object()) {
+      return at + " is not an object";
+    }
+    const slim::JsonValue* ph = event.Find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->as_string().size() != 1) {
+      return at + ".ph missing or not a one-char string";
+    }
+    // Metadata ('M') events carry no timestamp; everything else must.
+    if (ph->as_string() != "M") {
+      if (const slim::JsonValue* ts = event.Find("ts"); ts == nullptr || !ts->is_number()) {
+        return at + ".ts missing or not a number";
+      }
+    }
+    const slim::JsonValue* name = event.Find("name");
+    if (name == nullptr || !name->is_string()) {
+      return at + ".name missing or not a string";
+    }
+    const slim::JsonValue* tid = event.Find("tid");
+    const int64_t tid_value = tid != nullptr && tid->is_number() ? tid->as_int() : 0;
+    const char kind = ph->as_string()[0];
+    if (kind == 'B') {
+      open[tid_value].push_back(name->as_string());
+      ++spans;
+    } else if (kind == 'E') {
+      auto& stack = open[tid_value];
+      if (stack.empty()) {
+        return at + ": 'E' (" + name->as_string() + ") with no open 'B' on tid " +
+               std::to_string(tid_value);
+      }
+      stack.pop_back();
+    }
+  }
+  for (const auto& [tid, stack] : open) {
+    if (!stack.empty()) {
+      return "tid " + std::to_string(tid) + " ends with " + std::to_string(stack.size()) +
+             " unclosed 'B' span(s), first '" + stack.front() + "'";
+    }
+  }
+  if (doc.as_array().empty()) {
+    return "trace has no events";
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s BENCH_file.json...\n", argv[0]);
+  bool trace_mode = false;
+  int first_file = 1;
+  if (argc >= 2 && std::string(argv[1]) == "--trace") {
+    trace_mode = true;
+    first_file = 2;
+  }
+  if (argc <= first_file) {
+    std::fprintf(stderr, "usage: %s [--trace] FILE.json...\n", argv[0]);
     return 2;
   }
   int failures = 0;
-  for (int i = 1; i < argc; ++i) {
+  for (int i = first_file; i < argc; ++i) {
     const char* path = argv[i];
     std::ifstream in(path, std::ios::binary);
     if (!in) {
@@ -40,7 +111,9 @@ int main(int argc, char** argv) {
       ++failures;
       continue;
     }
-    if (const auto schema_error = slim::ValidateBenchReport(*doc)) {
+    const auto schema_error =
+        trace_mode ? ValidateChromeTrace(*doc) : slim::ValidateBenchReport(*doc);
+    if (schema_error) {
       std::fprintf(stderr, "FAIL %s: %s\n", path, schema_error->c_str());
       ++failures;
       continue;
@@ -48,7 +121,8 @@ int main(int argc, char** argv) {
     std::printf("ok %s\n", path);
   }
   if (failures > 0) {
-    std::fprintf(stderr, "%d of %d report(s) failed validation\n", failures, argc - 1);
+    std::fprintf(stderr, "%d of %d file(s) failed validation\n", failures,
+                 argc - first_file);
     return 1;
   }
   return 0;
