@@ -125,6 +125,7 @@ int main() {
     Histogram cdf(0.0, 60'000.0, 0.01);  // added delay in ms, paper's 0.01 ms buckets
     int64_t over_50 = 0;
     int64_t over_100 = 0;
+    int64_t pace_delayed = 0;  // packets the shaper actually held, as in txq.pace_delayed
     int64_t n = 0;
     for (size_t u = 0; u < per_user.size(); ++u) {
       const std::vector<SimDuration> delays = QueueDelays(per_user[u], level.bps);
@@ -133,6 +134,7 @@ int main() {
         cdf.Add(added_ms);
         over_50 += added_ms > 50.0 ? 1 : 0;
         over_100 += added_ms > 100.0 ? 1 : 0;
+        pace_delayed += added_ms > 0.0 ? 1 : 0;
         ++n;
       }
     }
@@ -148,6 +150,7 @@ int main() {
     report.Metric(slug + ".p99_added", cdf.InverseCdf(0.99), "ms");
     report.Metric(slug + ".over_100ms",
                   100.0 * static_cast<double>(over_100) / static_cast<double>(n), "percent");
+    report.Metric(slug + ".pace_delayed", pace_delayed, "count");
   }
   std::printf("Replayed %zu packets from the captured Netscape traces.\n\n%s",
               total_packets, table.Render().c_str());

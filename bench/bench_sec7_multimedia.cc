@@ -13,16 +13,24 @@
 //
 // In all cases the console's decode pipeline and the 100 Mbps IF are simulated for real;
 // server-side decode/translation costs come from VideoCpuModel.
+//
+// The final table is the contended desktop (Section 7's allocator closing the loop): a
+// saturating video stream next to an interactive application on a console whose
+// allocatable bandwidth cannot carry the video's offered rate, run unconstrained, with
+// grants enforced naively, and with grants enforced plus backpressure adaptation.
 
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/apps/benchmark_apps.h"
 #include "src/console/console.h"
 #include "src/net/fabric.h"
 #include "src/quake/raycaster.h"
 #include "src/server/slim_server.h"
+#include "src/util/histogram.h"
 #include "src/util/table.h"
 #include "src/video/pipeline.h"
 #include "src/video/video_source.h"
@@ -38,7 +46,10 @@ struct MediaRun {
 };
 
 struct Rig {
-  Rig() : fabric(&sim, {}), server(&sim, &fabric, ServerOptions{}), console(&sim, &fabric, {}) {
+  explicit Rig(ServerOptions server_options = {}, ConsoleOptions console_options = {})
+      : fabric(&sim, {}),
+        server(&sim, &fabric, server_options),
+        console(&sim, &fabric, console_options) {
     console.set_apply_callback([this](const ServiceRecord& rec) {
       if (rec.type == CommandType::kCscs) {
         ++cscs_displayed;
@@ -176,6 +187,89 @@ MediaRun RunQuake(int instances, int32_t w, int32_t h, SimDuration horizon) {
   return Finish(rig, pipelines, horizon);
 }
 
+// Contended desktop: one session runs a 640x480 video stream offering ~74 Mbps next to a
+// keystroke-driven interactive app, on a console that can only allocate 25 Mbps. The
+// ascending allocator grants the interactive flow its modest 2 Mbps first and the video
+// flow the ~23 Mbps that remain, so the stream must lose frames, not the keystrokes.
+struct ContendedRun {
+  double key_p50_ms = 0;     // keystroke -> echoed pixels on the display
+  double key_p99_ms = 0;
+  double video_fps = 0;      // frames displayed within the horizon (stale arrivals do not count)
+  int64_t video_dropped = 0;
+  int64_t coalesced = 0;
+  int64_t txq_max_depth = 0;
+};
+
+ContendedRun RunContended(bool pacing, bool adapt, SimDuration horizon) {
+  ServerOptions server_options;
+  server_options.pacing.enabled = pacing;
+  server_options.pacing.adapt = adapt;
+  ConsoleOptions console_options;
+  console_options.allocatable_bps = 25'000'000;
+  Rig rig(server_options, console_options);
+  ServerSession& session = rig.NewSession();
+  auto app = MakeApplication(AppKind::kPim, &session, 0x7e11);
+  app->BindInput();
+  app->Start();
+  rig.sim.Run();
+
+  // Per-keystroke latency: send time to the display completion of the first echoed
+  // (non-CSCS) command. One keystroke is outstanding at a time, so the correlation is by
+  // order; video frames ride the CSCS path and never collide with it.
+  Histogram latency(0.0, 10'000.0, 0.1);  // ms
+  SimTime key_sent = 0;
+  bool key_pending = false;
+  SimTime video_deadline = 0;  // set once the stream starts; 0 admits everything
+  rig.console.set_apply_callback([&](const ServiceRecord& rec) {
+    if (rec.type == CommandType::kCscs) {
+      if (video_deadline == 0 || rec.completion <= video_deadline) {
+        ++rig.cscs_displayed;
+      }
+      return;
+    }
+    if (key_pending && rec.completion >= key_sent) {
+      latency.Add(ToMillis(rec.completion - key_sent));
+      key_pending = false;
+    }
+  });
+
+  auto source = std::make_shared<SyntheticVideoSource>(640, 480, 77);
+  MediaPipelineOptions options;
+  options.target_fps = 30.0;
+  options.depth = CscsDepth::k8;  // 640x480 @8bpp @30fps -> ~74 Mbps offered
+  options.dst = Rect{600, 40, 640, 480};
+  options.run_for = horizon;
+  auto pipeline = std::make_unique<MediaPipeline>(
+      &rig.sim, &session, options, [source](int index, SimDuration* cost) {
+        // The wire is the story here, not the decoder: a nominal production cost keeps the
+        // stream CPU-unconstrained so every lost frame is the allocator's doing.
+        *cost = Milliseconds(5);
+        return source->Frame(index);
+      });
+  pipeline->Start();
+  video_deadline = rig.sim.now() + horizon;
+
+  // A keystroke every 100 ms against the video stream, PIM-style echo.
+  const SimTime end = rig.sim.now() + horizon;
+  uint32_t keycode = 0;
+  while (rig.sim.now() < end) {
+    key_sent = rig.sim.now();
+    key_pending = true;
+    rig.console.SendKey(rig.server.node(), session.id(), 'a' + (keycode++ % 26), true);
+    rig.sim.RunUntil(rig.sim.now() + Milliseconds(100));
+  }
+  rig.sim.Run();  // drain the paced backlog (the naive configuration has plenty)
+
+  ContendedRun out;
+  out.key_p50_ms = latency.InverseCdf(0.5);
+  out.key_p99_ms = latency.InverseCdf(0.99);
+  out.video_fps = static_cast<double>(rig.cscs_displayed) / ToSeconds(horizon);
+  out.video_dropped = rig.server.pacing_stats().video_dropped;
+  out.coalesced = rig.server.pacing_stats().coalesced_flushes;
+  out.txq_max_depth = rig.server.tx_queue().max_depth();
+  return out;
+}
+
 }  // namespace
 }  // namespace slim
 
@@ -220,5 +314,40 @@ int main() {
               "instances.\nServer CPU (decode/translation) is the bottleneck for the single "
               "streams; the console's\ndecode pipeline becomes the limit only for the "
               "4-way parallel cases, as in the paper.\n");
+
+  std::fprintf(stderr, "[sec7] contended desktop...\n");
+  TextTable contended({"Configuration", "key p50", "key p99", "video fps", "vid dropped",
+                       "coalesced", "txq max depth"});
+  struct ContendedMode {
+    const char* name;
+    const char* slug;
+    bool pacing;
+    bool adapt;
+  };
+  const ContendedMode modes[] = {
+      {"unconstrained (pacing off)", "contended_off", false, false},
+      {"grants enforced, naive", "contended_naive", true, false},
+      {"grants enforced + adaptation", "contended_adaptive", true, true},
+  };
+  for (const ContendedMode& mode : modes) {
+    const ContendedRun run = RunContended(mode.pacing, mode.adapt, horizon);
+    contended.AddRow({mode.name, Format("%.1f ms", run.key_p50_ms),
+                      Format("%.1f ms", run.key_p99_ms), Format("%.1f", run.video_fps),
+                      Format("%lld", static_cast<long long>(run.video_dropped)),
+                      Format("%lld", static_cast<long long>(run.coalesced)),
+                      Format("%lld", static_cast<long long>(run.txq_max_depth))});
+    const std::string base = mode.slug;
+    report.Metric(base + ".key_p50", run.key_p50_ms, "ms");
+    report.Metric(base + ".key_p99", run.key_p99_ms, "ms");
+    report.Metric(base + ".video_fps", run.video_fps, "fps");
+    report.Metric(base + ".video_dropped", run.video_dropped, "count");
+    report.Metric(base + ".coalesced_flushes", run.coalesced, "count");
+    report.Metric(base + ".txq_max_depth", run.txq_max_depth, "count");
+  }
+  std::printf("\nContended desktop: 640x480 @8bpp video (~74 Mbps offered) + keystroke "
+              "echo on a 25 Mbps\nconsole. Naive enforcement paces correctly but queues "
+              "every stale frame; adaptation drops\nnewest-wins, keeps the transmit queue "
+              "bounded, and leaves keystroke latency at its\nunconstrained level.\n%s",
+              contended.Render().c_str());
   return 0;
 }

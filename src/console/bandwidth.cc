@@ -18,21 +18,33 @@ std::vector<BandwidthGrant> AllocateBandwidth(std::vector<BandwidthRequest> requ
     }
     return a.flow_id < b.flow_id;
   });
-  int64_t available = total_bps;
+  // Zero/negative requests sort first; reject them explicitly with a zero grant so they
+  // neither consume bandwidth nor dilute the fair-share split below.
   size_t i = 0;
+  for (; i < requests.size() && requests[i].bits_per_second <= 0; ++i) {
+    grants.push_back({requests[i].flow_id, 0});
+  }
+  int64_t available = total_bps;
   for (; i < requests.size(); ++i) {
-    const int64_t want = std::max<int64_t>(requests[i].bits_per_second, 0);
+    const int64_t want = requests[i].bits_per_second;
     if (want > available) {
       break;  // This and all larger requests share the remainder fairly.
     }
     grants.push_back({requests[i].flow_id, want});
     available -= want;
   }
-  const size_t remaining = requests.size() - i;
+  const auto remaining = static_cast<int64_t>(requests.size() - i);
   if (remaining > 0) {
-    const int64_t fair_share = available / static_cast<int64_t>(remaining);
+    const int64_t fair_share = available / remaining;
+    // Integer division strands `available % remaining` bits/s; hand the residue out one
+    // bit/s at a time in the same ascending order so the split stays deterministic and
+    // the totals exact. No flow is over-granted: everyone here wanted more than
+    // `available`, so want >= available + 1 >= fair_share + 1.
+    int64_t residue = available % remaining;
     for (; i < requests.size(); ++i) {
-      grants.push_back({requests[i].flow_id, fair_share});
+      const int64_t extra = residue > 0 ? 1 : 0;
+      residue -= extra;
+      grants.push_back({requests[i].flow_id, fair_share + extra});
     }
   }
   return grants;
@@ -44,20 +56,20 @@ BandwidthAllocator::BandwidthAllocator(int64_t total_bps) : total_bps_(total_bps
 
 std::vector<BandwidthGrant> BandwidthAllocator::Request(uint64_t flow_id,
                                                         int64_t bits_per_second) {
+  if (bits_per_second <= 0) {
+    // Explicit withdrawal, not a zero-rate reservation: drop the flow entirely.
+    return Remove(flow_id);
+  }
   requests_[flow_id] = bits_per_second;
   Recompute();
-  std::vector<BandwidthGrant> out;
-  out.reserve(grants_.size());
-  for (const auto& [id, bps] : grants_) {
-    out.push_back({id, bps});
-  }
-  return out;
+  return GrantSnapshot();
 }
 
-void BandwidthAllocator::Remove(uint64_t flow_id) {
+std::vector<BandwidthGrant> BandwidthAllocator::Remove(uint64_t flow_id) {
   requests_.erase(flow_id);
   grants_.erase(flow_id);
   Recompute();
+  return GrantSnapshot();
 }
 
 int64_t BandwidthAllocator::GrantFor(uint64_t flow_id) const {
@@ -75,6 +87,15 @@ void BandwidthAllocator::Recompute() {
   for (const BandwidthGrant& grant : AllocateBandwidth(std::move(requests), total_bps_)) {
     grants_[grant.flow_id] = grant.bits_per_second;
   }
+}
+
+std::vector<BandwidthGrant> BandwidthAllocator::GrantSnapshot() const {
+  std::vector<BandwidthGrant> out;
+  out.reserve(grants_.size());
+  for (const auto& [id, bps] : grants_) {
+    out.push_back({id, bps});
+  }
+  return out;
 }
 
 }  // namespace slim

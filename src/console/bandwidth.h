@@ -10,6 +10,7 @@
 #ifndef SRC_CONSOLE_BANDWIDTH_H_
 #define SRC_CONSOLE_BANDWIDTH_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <vector>
@@ -28,6 +29,12 @@ struct BandwidthGrant {
 
 // Pure allocation function (unit-tested directly): ascending grant with fair-share
 // remainder. Total granted never exceeds `total_bps`; requests are never over-granted.
+// Zero/negative requests are rejected explicitly: they appear in the result with a zero
+// grant and take no part in the fair-share split. When the link is contended the split is
+// exact — the integer fair share would strand `available % remaining` bits/s, so the
+// residue is handed out one bit/s at a time in the same deterministic ascending order
+// (smallest request first, flow id breaking ties), making the totals bit-exact:
+// sum(grants) == min(total_bps, sum(positive requests)).
 std::vector<BandwidthGrant> AllocateBandwidth(std::vector<BandwidthRequest> requests,
                                               int64_t total_bps);
 
@@ -37,15 +44,22 @@ class BandwidthAllocator {
  public:
   explicit BandwidthAllocator(int64_t total_bps);
 
-  // Updates (or registers) a flow's request and returns the fresh grant set.
+  // Updates (or registers) a flow's request and returns the fresh grant set. A
+  // non-positive rate is an explicit withdrawal: the flow is dropped (as in Remove) and
+  // the surviving flows' fresh grants are returned.
   std::vector<BandwidthGrant> Request(uint64_t flow_id, int64_t bits_per_second);
-  void Remove(uint64_t flow_id);
+  // Drops a flow, recomputes immediately, and returns the surviving flows' fresh grants
+  // so the caller can notify them — freed bandwidth is reabsorbed without a stale-grant
+  // window.
+  std::vector<BandwidthGrant> Remove(uint64_t flow_id);
 
   int64_t GrantFor(uint64_t flow_id) const;
   int64_t total_bps() const { return total_bps_; }
+  size_t flow_count() const { return requests_.size(); }
 
  private:
   void Recompute();
+  std::vector<BandwidthGrant> GrantSnapshot() const;
 
   int64_t total_bps_;
   std::map<uint64_t, int64_t> requests_;

@@ -50,6 +50,7 @@ bool Console::RegisterMetrics(MetricRegistry* registry, const std::string& prefi
        ok;
   ok = registry->BindCounter(prefix + ".post_release_drops", &post_release_drops_) && ok;
   ok = registry->BindCounter(prefix + ".pings_answered", &pings_answered_) && ok;
+  ok = registry->BindCounter(prefix + ".grants_sent", &grants_sent_) && ok;
   ok = registry->BindGauge(prefix + ".queued_bytes",
                            [this] { return static_cast<double>(queued_bytes_); }) &&
        ok;
@@ -101,10 +102,7 @@ void Console::OnMessage(const Message& msg, NodeId from) {
           ++pings_answered_;
           endpoint_->Send(from, msg.session_id, PongMsg{body.payload});
         } else if constexpr (std::is_same_v<T, BandwidthRequestMsg>) {
-          // Section 7 allocation: recompute and notify the requester of its own grant.
-          allocator_.Request(body.flow_id, body.bits_per_second);
-          endpoint_->Send(from, msg.session_id,
-                          BandwidthGrantMsg{body.flow_id, allocator_.GrantFor(body.flow_id)});
+          HandleBandwidthRequest(msg, from, body);
         } else if constexpr (std::is_same_v<T, AudioMsg>) {
           audio_bytes_ += static_cast<int64_t>(body.samples.size());
         } else {
@@ -113,6 +111,41 @@ void Console::OnMessage(const Message& msg, NodeId from) {
         }
       },
       msg.body);
+}
+
+void Console::HandleBandwidthRequest(const Message& msg, NodeId from,
+                                     const BandwidthRequestMsg& req) {
+  // Section 7 allocation: recompute, then push a grant to every flow whose share moved —
+  // not just the requester. A non-positive rate withdraws the flow entirely.
+  const std::vector<BandwidthGrant> grants =
+      allocator_.Request(req.flow_id, req.bits_per_second);
+  if (req.bits_per_second <= 0) {
+    flow_sources_.erase(req.flow_id);
+    last_sent_grant_.erase(req.flow_id);
+  } else {
+    flow_sources_[req.flow_id] = FlowSource{from, msg.session_id};
+  }
+  BroadcastGrants(grants, req.flow_id);
+}
+
+void Console::BroadcastGrants(const std::vector<BandwidthGrant>& grants,
+                              uint64_t requester_flow) {
+  for (const auto& g : grants) {
+    const auto src = flow_sources_.find(g.flow_id);
+    if (src == flow_sources_.end()) {
+      continue;
+    }
+    const auto last = last_sent_grant_.find(g.flow_id);
+    const bool changed =
+        last == last_sent_grant_.end() || last->second != g.bits_per_second;
+    if (!changed && g.flow_id != requester_flow) {
+      continue;  // an unchanged share needs no revision message
+    }
+    last_sent_grant_[g.flow_id] = g.bits_per_second;
+    ++grants_sent_;
+    endpoint_->Send(src->second.node, src->second.session,
+                    BandwidthGrantMsg{g.flow_id, g.bits_per_second, allocator_.total_bps()});
+  }
 }
 
 void Console::ProcessRelease(const Message& msg, NodeId from) {
@@ -129,6 +162,24 @@ void Console::ProcessRelease(const Message& msg, NodeId from) {
     floor = std::max(floor, msg.seq);
   }
   ++releases_applied_;
+  // The released session's bandwidth dies with it: every flow this server had granted is
+  // removed and the freed share is rebroadcast to the survivors immediately (no
+  // stale-grant window — the whole point of Remove returning the fresh set).
+  std::vector<uint64_t> dead;
+  for (const auto& [flow, src] : flow_sources_) {
+    if (src.node == from) {
+      dead.push_back(flow);
+    }
+  }
+  if (!dead.empty()) {
+    std::vector<BandwidthGrant> grants;
+    for (const uint64_t flow : dead) {
+      grants = allocator_.Remove(flow);
+      flow_sources_.erase(flow);
+      last_sent_grant_.erase(flow);
+    }
+    BroadcastGrants(grants, /*requester_flow=*/0);
+  }
   // The blank runs through the decode pipeline like any command: commands already queued
   // (all older than the release) finish first, then the screen goes dark. The stream cache
   // dies with the session — the next occupant's streams are not this one's.

@@ -83,6 +83,9 @@ class Console {
   int64_t stale_releases_ignored() const { return stale_releases_ignored_; }
   int64_t post_release_drops() const { return post_release_drops_; }
   int64_t pings_answered() const { return pings_answered_; }
+  // Section 7: BandwidthGrantMsg copies sent (answers plus revisions pushed to other flows
+  // whose share moved when a request arrived or a flow died).
+  int64_t grants_sent() const { return grants_sent_; }
   SimTime busy_until() const { return busy_until_; }
   // Time the decode pipeline has spent busy (for utilization accounting).
   SimDuration busy_time() const { return busy_time_; }
@@ -102,6 +105,10 @@ class Console {
   void OnMessage(const Message& msg, NodeId from);
   void ProcessDisplayCommand(const Message& msg, const DisplayCommand& cmd);
   void ProcessRelease(const Message& msg, NodeId from);
+  void HandleBandwidthRequest(const Message& msg, NodeId from, const BandwidthRequestMsg& req);
+  // Sends a grant to every flow in `grants` whose value differs from the last one sent to
+  // it (the requester always hears back, changed or not — a request deserves an answer).
+  void BroadcastGrants(const std::vector<BandwidthGrant>& grants, uint64_t requester_flow);
 
   Simulator* sim_;
   ConsoleOptions options_;
@@ -138,6 +145,16 @@ class Console {
   // released stream) that must not dirty a blanked screen.
   std::map<NodeId, uint64_t> last_display_seq_;
   std::map<NodeId, uint64_t> release_floor_;
+  // Return address of each granted flow, so the allocator's revisions can travel back to
+  // the server that asked. Like everything here it is soft state: a server whose flows
+  // vanish (applied release) just re-requests on the next attach.
+  struct FlowSource {
+    NodeId node = kInvalidNode;
+    uint32_t session = 0;
+  };
+  std::map<uint64_t, FlowSource> flow_sources_;
+  std::map<uint64_t, int64_t> last_sent_grant_;
+  int64_t grants_sent_ = 0;
   std::vector<ServiceRecord> service_log_;
   ApplyCallback apply_callback_;
   // Registry-owned histograms, non-null only after RegisterMetrics; bumping them is a

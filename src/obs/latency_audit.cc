@@ -22,6 +22,8 @@ const char* LatencyStageName(int stage) {
       return "wire_cpu";
     case kStageTxq:
       return "txq";
+    case kStagePace:
+      return "pace";
     case kStageNetwork:
       return "network";
     case kStageReplay:
@@ -136,14 +138,31 @@ void LatencyAudit::NoteEnqueued(int64_t input_id) {
 }
 
 void LatencyAudit::NoteDeparture(int64_t input_id, NodeId console, uint64_t seq,
-                                 SimTime departed) {
+                                 SimTime departed, SimDuration pace_delay) {
   const auto it = open_.find(input_id);
   if (it == open_.end()) {
     return;
   }
   OpenEvent& ev = it->second;
-  ev.last_departure = std::max(ev.last_departure, departed);
+  if (departed >= ev.last_departure) {
+    // The critical-path (latest-departing) command's pacing stall is the one the stage
+    // decomposition attributes; earlier siblings' stalls overlap it.
+    ev.last_departure = departed;
+    ev.pace_stall = std::max<SimDuration>(pace_delay, 0);
+  }
   in_flight_[{console, seq}] = {input_id, 0};
+}
+
+void LatencyAudit::NotePurged(int64_t input_id) {
+  const auto it = open_.find(input_id);
+  if (it == open_.end()) {
+    return;
+  }
+  OpenEvent& ev = it->second;
+  if (ev.outstanding > 0) {
+    --ev.outstanding;
+  }
+  MaybeFinalize(input_id, ev);
 }
 
 void LatencyAudit::NoteReplayResolved(NodeId self, uint64_t seq, SimTime since, SimTime now,
@@ -261,7 +280,11 @@ void LatencyAudit::Finalize(int64_t input_id, OpenEvent& ev, bool complete) {
   stages[kStageEncode] = ev.stage_cpu[kStageEncode];
   stages[kStageWireCpu] = ev.stage_cpu[kStageWireCpu];
   if (ev.last_departure > 0) {
-    stages[kStageTxq] = std::max<SimDuration>(ev.last_departure - ev.dispatch_done, 0);
+    // The wait between dispatch-done and departure splits into the token-bucket stall
+    // (pace) and whatever the shared CPU pipeline imposed on top (txq).
+    stages[kStagePace] = ev.pace_stall;
+    stages[kStageTxq] =
+        std::max<SimDuration>(ev.last_departure - ev.dispatch_done - ev.pace_stall, 0);
   }
   stages[kStageReplay] = ev.replay_stall;
   if (ev.final_arrival > 0 && ev.last_departure > 0) {

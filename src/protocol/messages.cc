@@ -72,6 +72,7 @@ void WriteBody(ByteWriter& w, const MessageBody& body) {
         } else if constexpr (std::is_same_v<T, BandwidthGrantMsg>) {
           w.U64(b.flow_id);
           w.I64(b.bits_per_second);
+          w.I64(b.total_bps);
         } else if constexpr (std::is_same_v<T, AudioMsg>) {
           w.U32(b.sample_rate);
           w.U32(static_cast<uint32_t>(b.samples.size()));
@@ -199,6 +200,7 @@ std::optional<MessageBody> ReadBody(MessageType type, ByteReader& r, size_t payl
       BandwidthGrantMsg m;
       m.flow_id = r.U64();
       m.bits_per_second = r.I64();
+      m.total_bps = r.I64();
       return MessageBody(m);
     }
     case MessageType::kAudio: {
@@ -352,8 +354,11 @@ std::optional<Message> ParseMessage(std::span<const uint8_t> data) {
   return msg;
 }
 
-size_t MessageWireSize(const Message& msg) {
-  if (IsDisplayCommand(msg)) {
+size_t MessageWireSize(const Message& msg) { return BodyWireSize(msg.body); }
+
+size_t BodyWireSize(const MessageBody& body) {
+  const auto type = static_cast<uint8_t>(TypeOfBody(body));
+  if (type >= 1 && type <= 5) {
     return std::visit(
         [](const auto& b) -> size_t {
           using T = std::decay_t<decltype(b)>;
@@ -365,10 +370,10 @@ size_t MessageWireSize(const Message& msg) {
             return 0;
           }
         },
-        msg.body);
+        body);
   }
   ByteWriter w;
-  WriteBody(w, msg.body);
+  WriteBody(w, body);
   return kMessageHeaderBytes + w.size();
 }
 

@@ -32,10 +32,10 @@ enum class MessageType : uint8_t {
   kNack = 19,
   kSessionAttach = 20,   // smart card inserted
   kSessionDetach = 21,   // smart card removed
-  kBandwidthRequest = 22,
+  kBandwidthRequest = 22,  // server -> console: ask the console's allocator for a share
   // Server -> console (non-display).
   kAudio = 32,
-  kBandwidthGrant = 33,
+  kBandwidthGrant = 33,  // console -> server: the allocator's answer (Section 7)
   kPing = 34,
   kPong = 35,
   kSessionRelease = 36,  // session left this console: blank and stop displaying
@@ -89,15 +89,23 @@ struct SessionDetachMsg {
   bool operator==(const SessionDetachMsg&) const = default;
 };
 
+// Server -> console: a flow (our flows are sessions) asking the console's allocator for
+// `bits_per_second` of the last-mile link. A non-positive rate withdraws the flow's
+// reservation — the console removes it and redistributes to the surviving flows.
 struct BandwidthRequestMsg {
   uint64_t flow_id = 0;
   int64_t bits_per_second = 0;
   bool operator==(const BandwidthRequestMsg&) const = default;
 };
 
+// Console -> server: the allocator's decision for one flow. Sent to the requester and —
+// whenever a recompute changes other flows' shares — to every flow whose grant moved, so
+// freed bandwidth is reabsorbed without a stale-grant window. `total_bps` is the console's
+// whole allocatable link, letting the server judge headroom, not just its own share.
 struct BandwidthGrantMsg {
   uint64_t flow_id = 0;
   int64_t bits_per_second = 0;
+  int64_t total_bps = 0;
   bool operator==(const BandwidthGrantMsg&) const = default;
 };
 
@@ -152,6 +160,9 @@ std::optional<Message> ParseMessage(std::span<const uint8_t> data);
 
 // Serialized size without actually serializing (used by traffic accounting hot paths).
 size_t MessageWireSize(const Message& msg);
+// Same, header included, for a body that has not been wrapped in a Message yet (used by
+// the transmit queue's wire pacing to charge a send against its session's token bucket).
+size_t BodyWireSize(const MessageBody& body);
 
 // Body-level (de)serialization without the 20-byte message header; used by the transport's
 // batching mode (Section 5.4's "header compression and batching of command packets").

@@ -1,5 +1,8 @@
 #include "src/server/session.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "src/obs/latency_audit.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -43,6 +46,16 @@ bool ServerSession::RegisterMetrics(MetricRegistry* registry, const std::string&
                              return static_cast<double>(server_->tx_queue().depth(id_));
                            }) &&
        ok;
+  // Congestion-adaptation counters and the current grants (gauges so they track revisions).
+  ok = registry->BindCounter(prefix + ".video_deferred", &video_deferred_) && ok;
+  ok = registry->BindCounter(prefix + ".video_dropped", &video_dropped_) && ok;
+  ok = registry->BindCounter(prefix + ".coalesced_flushes", &coalesced_flushes_) && ok;
+  ok = registry->BindGauge(prefix + ".interactive_grant_bps",
+                           [this] { return static_cast<double>(interactive_grant_bps_); }) &&
+       ok;
+  ok = registry->BindGauge(prefix + ".video_grant_bps",
+                           [this] { return static_cast<double>(video_grant_bps_); }) &&
+       ok;
   // One counter block per display command type, mirroring EncodeStats field for field.
   static constexpr const char* kTypeNames[6] = {nullptr, "set", "bitmap", "fill", "copy",
                                                 "cscs"};
@@ -60,6 +73,9 @@ bool ServerSession::RegisterMetrics(MetricRegistry* registry, const std::string&
 
 void ServerSession::AttachConsole(NodeId console) {
   console_ = console;
+  // Grants belong to a console; whatever the previous one allowed is void here (the server
+  // already released the flows, and fresh requests are in flight to the new console).
+  ClearPacedState();
   // The newly attached console displays black (its framebuffer is soft state and this may
   // be a hotdesking move to a different terminal), so the repaint must not be refined
   // against whatever the previous console was showing.
@@ -67,7 +83,47 @@ void ServerSession::AttachConsole(NodeId console) {
   Flush();
 }
 
-void ServerSession::DetachConsole() { console_ = kInvalidNode; }
+void ServerSession::DetachConsole() {
+  console_ = kInvalidNode;
+  ClearPacedState();
+}
+
+void ServerSession::ClearPacedState() {
+  // A staged frame never touched fb/shadow/damage/log, so dropping it here leaves the
+  // session bit-identical to one that never saw the frame.
+  if (staged_video_.has_value()) {
+    staged_video_.reset();
+    ++video_dropped_;
+    ++server_->pacing_stats().video_dropped;
+  }
+  interactive_grant_bps_ = 0;
+  video_grant_bps_ = 0;
+  link_total_bps_ = 0;
+  // pace_retry_armed_ is left alone: an already-scheduled retry will fire regardless, and
+  // OnPaceRetry handles the detached (or re-attached) session it finds.
+}
+
+void ServerSession::OnBandwidthGrant(uint64_t flow_id, int64_t bits_per_second,
+                                     int64_t total_bps) {
+  if (flow_id == interactive_flow()) {
+    interactive_grant_bps_ = bits_per_second;
+  } else if (flow_id == video_flow()) {
+    video_grant_bps_ = bits_per_second;
+  }
+  link_total_bps_ = total_bps;
+  // A bigger (or smaller) share changes when staged work can go; re-evaluate.
+  if (staged_video_.has_value() || !damage_.empty()) {
+    ArmPaceRetry();
+  }
+}
+
+void ServerSession::RequestFlowBandwidth(uint64_t flow_id, int64_t bits_per_second) {
+  if (!attached() || !server_->options().pacing.enabled) {
+    return;
+  }
+  ++server_->pacing_stats().requests_sent;
+  server_->Transmit(console_, id_, BandwidthRequestMsg{flow_id, bits_per_second}, 0);
+}
 
 void ServerSession::DeliverInput(const Message& msg) {
   const SimTime now = server_->simulator()->now();
@@ -215,16 +271,35 @@ void ServerSession::CopyArea(int32_t src_x, int32_t src_y, const Rect& dst) {
 }
 
 void ServerSession::SendVideoFrame(const YuvImage& frame, const Rect& dst, CscsDepth depth) {
-  const SimTime now = server_->simulator()->now();
   CscsCommand cmd;
   cmd.src_w = frame.width();
   cmd.src_h = frame.height();
   cmd.dst = Intersect(dst, fb_.bounds());
   cmd.depth = depth;
-  cmd.payload = PackCscsPayload(frame, depth);
   if (cmd.dst.empty()) {
     return;
   }
+  cmd.payload = PackCscsPayload(frame, depth);
+  if (ShouldStageVideo()) {
+    // The video flow's bucket is too far ahead of the clock: stage instead of queue, and
+    // let a newer frame supersede this one — stale video is worthless by the time the
+    // wire would take it, and dropping it is what frees the link (Section 7's allocator
+    // assumes the video library adapts its rate to its grant).
+    ++video_deferred_;
+    ++server_->pacing_stats().video_deferred;
+    if (staged_video_.has_value()) {
+      ++video_dropped_;
+      ++server_->pacing_stats().video_dropped;
+    }
+    staged_video_ = std::move(cmd);
+    ArmPaceRetry();
+    return;
+  }
+  TransmitVideoFrame(std::move(cmd));
+}
+
+void ServerSession::TransmitVideoFrame(CscsCommand cmd) {
+  const SimTime now = server_->simulator()->now();
   // Keep the server's true framebuffer in sync with what the console will display.
   fb_.SetPixels(cmd.dst, YuvToRgbScaled(UnpackCscsPayload(cmd.payload, cmd.src_w, cmd.src_h,
                                                           cmd.depth),
@@ -250,8 +325,84 @@ void ServerSession::SendAudio(uint32_t sample_rate, std::span<const uint8_t> sam
 }
 
 void ServerSession::Flush() {
+  if (ShouldDeferFlush()) {
+    // Under pressure the damage region keeps absorbing updates (overlapping dirt merges
+    // for free) and is encoded once, when the queue drains — against the same shadow
+    // frame, so the bytes that eventually go out are exactly what an unpaced flush of the
+    // final state would have sent. Anything already encoded still goes now: those
+    // commands are committed to the shadow and must not be reordered around.
+    damage_.Coalesce(8);
+    ++coalesced_flushes_;
+    ++server_->pacing_stats().coalesced_flushes;
+    ArmPaceRetry();
+    TransmitPending();
+    return;
+  }
   EncodeDamageToPending();
   TransmitPending();
+}
+
+bool ServerSession::ShouldStageVideo() const {
+  const PacingOptions& p = server_->options().pacing;
+  return p.enabled && p.adapt && attached() &&
+         server_->tx_queue().PaceBacklog(video_flow()) > p.pace_backlog_watermark;
+}
+
+bool ServerSession::ShouldDeferFlush() const {
+  const PacingOptions& p = server_->options().pacing;
+  if (!p.enabled || !p.adapt || !attached() || damage_.empty()) {
+    return false;
+  }
+  const TransmitQueue& tx = server_->tx_queue();
+  return tx.depth(id_) > p.coalesce_watermark ||
+         tx.PaceBacklog(interactive_flow()) > p.pace_backlog_watermark;
+}
+
+void ServerSession::ArmPaceRetry() {
+  if (pace_retry_armed_) {
+    return;
+  }
+  const PacingOptions& p = server_->options().pacing;
+  const TransmitQueue& tx = server_->tx_queue();
+  const SimTime now = server_->simulator()->now();
+  SimTime at = std::numeric_limits<SimTime>::max();
+  if (staged_video_.has_value()) {
+    at = std::min(at, now + std::max<SimDuration>(
+                           tx.PaceBacklog(video_flow()) - p.pace_backlog_watermark, 0));
+  }
+  if (!damage_.empty()) {
+    at = std::min(at, now + std::max<SimDuration>(
+                           tx.PaceBacklog(interactive_flow()) - p.pace_backlog_watermark, 0));
+  }
+  if (at == std::numeric_limits<SimTime>::max()) {
+    return;
+  }
+  // Clamped away from `now`: a depth-triggered deferral has no flow ETA, and retrying in
+  // the same instant would spin. Each retry either makes progress or re-arms >= 1ms out.
+  at = std::max(at, now + kMillisecond);
+  pace_retry_armed_ = true;
+  server_->SchedulePaceRetry(id_, at);
+}
+
+void ServerSession::OnPaceRetry() {
+  pace_retry_armed_ = false;
+  if (!attached()) {
+    // Whatever was deferred was for a console this session no longer has; the staged
+    // frame (if any) was already dropped by ClearPacedState.
+    staged_video_.reset();
+    return;
+  }
+  if (staged_video_.has_value() && !ShouldStageVideo()) {
+    CscsCommand cmd = std::move(*staged_video_);
+    staged_video_.reset();
+    TransmitVideoFrame(std::move(cmd));
+  }
+  if (!damage_.empty()) {
+    Flush();  // re-checks deferral and re-arms if still over the watermark
+  }
+  if ((staged_video_.has_value() || !damage_.empty()) && !pace_retry_armed_) {
+    ArmPaceRetry();
+  }
 }
 
 void ServerSession::RepaintAll() {
@@ -312,9 +463,14 @@ void ServerSession::TransmitPending() {
     const SimDuration wire_cost = server_->options().cpu.WireCost(static_cast<int64_t>(bytes));
     wire_time_ += wire_cost;
     if (attached()) {
+      // CSCS frames bill the video library's flow; every other display command is the
+      // display server's interactive traffic. With pacing off the transmit queue has no
+      // pacer for either id and the flow tag is inert.
+      const uint64_t flow =
+          std::holds_alternative<CscsCommand>(cmd) ? video_flow() : interactive_flow();
       std::visit(
           [&](auto& body) {
-            server_->Transmit(console_, id_, std::move(body), wire_cost);
+            server_->Transmit(console_, id_, std::move(body), wire_cost, flow);
           },
           cmd);
     }

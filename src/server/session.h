@@ -10,6 +10,7 @@
 #define SRC_SERVER_SESSION_H_
 
 #include <functional>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -46,6 +47,41 @@ class ServerSession {
                 EncoderOptions encoder_options = {});
 
   uint32_t id() const { return id_; }
+
+  // --- Bandwidth flows (Section 7) ---
+  // Each session owns two console-bandwidth flows, mirroring the paper's applications: the
+  // display server (interactive drawing) and the video library. Flow 0 is reserved for
+  // unpaced control traffic, so the ids interleave from 1.
+  static uint64_t InteractiveFlow(uint32_t session_id) {
+    return static_cast<uint64_t>(session_id) * 2 + 1;
+  }
+  static uint64_t VideoFlow(uint32_t session_id) {
+    return static_cast<uint64_t>(session_id) * 2 + 2;
+  }
+  static uint32_t SessionOfFlow(uint64_t flow_id) {
+    return static_cast<uint32_t>((flow_id - 1) / 2);
+  }
+  uint64_t interactive_flow() const { return InteractiveFlow(id_); }
+  uint64_t video_flow() const { return VideoFlow(id_); }
+
+  // A console grant for one of this session's flows (relayed by SlimServer::ApplyGrant
+  // after the transmit queue's pacer was updated). May un-stage work that was waiting for
+  // headroom. `total_bps` is the console's whole allocatable link.
+  void OnBandwidthGrant(uint64_t flow_id, int64_t bits_per_second, int64_t total_bps);
+  // Sends a (re-)request for one of this session's flows to the attached console — used by
+  // applications that know their real offered rate (the video pipeline at Start).
+  void RequestFlowBandwidth(uint64_t flow_id, int64_t bits_per_second);
+  // Fired by SlimServer::SchedulePaceRetry: re-check staged video and deferred damage now
+  // that the paced backlog had time to drain.
+  void OnPaceRetry();
+
+  int64_t interactive_grant_bps() const { return interactive_grant_bps_; }
+  int64_t video_grant_bps() const { return video_grant_bps_; }
+  int64_t link_total_bps() const { return link_total_bps_; }
+  bool has_staged_video() const { return staged_video_.has_value(); }
+  int64_t video_deferred() const { return video_deferred_; }
+  int64_t video_dropped() const { return video_dropped_; }
+  int64_t coalesced_flushes() const { return coalesced_flushes_; }
   // The simulator driving this session's server (for applications that defer work, e.g.
   // progressive page rendering).
   Simulator* simulator();
@@ -120,6 +156,23 @@ class ServerSession {
   void EncodeDamageToPending();
   void TransmitPending();
 
+  // --- Backpressure adaptation (pacing.adapt) ---
+  // True while the video flow's token bucket runs further ahead of the clock than the
+  // watermark: new frames are staged (newest wins) instead of queued.
+  bool ShouldStageVideo() const;
+  // True while the interactive flow (or the session's txq depth) is over its watermark:
+  // Flush leaves damage coalescing instead of encoding more rects into the queue.
+  bool ShouldDeferFlush() const;
+  // Applies the staged CSCS frame to the framebuffer/shadow/log and transmits it — the
+  // only place a video frame touches session state, so a dropped frame leaves no trace.
+  void TransmitVideoFrame(CscsCommand cmd);
+  // Schedules one OnPaceRetry at the earliest time any deferred concern could clear
+  // (deduplicated: at most one retry in flight per session).
+  void ArmPaceRetry();
+  // Drops staged video and forgets grants (console detach/handoff: the next console's
+  // allocator starts fresh).
+  void ClearPacedState();
+
   SlimServer* server_;
   uint32_t id_;
   Framebuffer fb_;
@@ -144,6 +197,17 @@ class ServerSession {
   int64_t commands_sent_ = 0;
   int64_t bytes_sent_ = 0;
   EncodeStats encode_stats_[6] = {};
+
+  // Backpressure state. The staged frame is already packed (the pack cost was paid by the
+  // caller); it has NOT touched fb_/shadow/damage/log — that happens only on transmit.
+  std::optional<CscsCommand> staged_video_;
+  bool pace_retry_armed_ = false;
+  int64_t interactive_grant_bps_ = 0;
+  int64_t video_grant_bps_ = 0;
+  int64_t link_total_bps_ = 0;
+  int64_t video_deferred_ = 0;
+  int64_t video_dropped_ = 0;
+  int64_t coalesced_flushes_ = 0;
 };
 
 }  // namespace slim

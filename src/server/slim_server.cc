@@ -134,8 +134,48 @@ SessionState SlimServer::session_state(uint32_t session_id) const {
 }
 
 SimTime SlimServer::Transmit(NodeId console, uint32_t session_id, MessageBody body,
-                             SimDuration cpu_cost) {
-  return tx_->Send(console, session_id, std::move(body), cpu_cost);
+                             SimDuration cpu_cost, uint64_t flow_id) {
+  return tx_->Send(console, session_id, std::move(body), cpu_cost, flow_id);
+}
+
+void SlimServer::SchedulePaceRetry(uint32_t session_id, SimTime at) {
+  sim_->ScheduleAt(std::max(at, sim_->now()), [this, session_id] {
+    if (ServerSession* session = FindSession(session_id)) {
+      session->OnPaceRetry();
+    }
+  });
+}
+
+void SlimServer::ApplyGrant(const BandwidthGrantMsg& grant) {
+  if (!options_.pacing.enabled || grant.flow_id == 0) {
+    return;
+  }
+  ServerSession* session = FindSession(ServerSession::SessionOfFlow(grant.flow_id));
+  if (session == nullptr || !session->attached()) {
+    return;  // stale grant for a session that moved on; the new console will re-grant
+  }
+  tx_->SetFlowRate(grant.flow_id, grant.bits_per_second, options_.pacing.burst_window);
+  ++pacing_stats_.grants_applied;
+  session->OnBandwidthGrant(grant.flow_id, grant.bits_per_second, grant.total_bps);
+}
+
+void SlimServer::RequestSessionBandwidth(ServerSession& session, NodeId console) {
+  const auto request = [&](uint64_t flow, int64_t bps) {
+    if (bps <= 0) {
+      return;
+    }
+    ++pacing_stats_.requests_sent;
+    Transmit(console, session.id(), BandwidthRequestMsg{flow, bps}, 0);
+  };
+  request(ServerSession::InteractiveFlow(session.id()),
+          options_.pacing.interactive_request_bps);
+  request(ServerSession::VideoFlow(session.id()), options_.pacing.video_request_bps);
+}
+
+void SlimServer::ResetSessionPacing(uint32_t session_id) {
+  tx_->PurgeSession(session_id);
+  tx_->ReleaseFlow(ServerSession::InteractiveFlow(session_id));
+  tx_->ReleaseFlow(ServerSession::VideoFlow(session_id));
 }
 
 bool SlimServer::RegisterMetrics(MetricRegistry* registry, const std::string& prefix) {
@@ -161,6 +201,13 @@ bool SlimServer::RegisterMetrics(MetricRegistry* registry, const std::string& pr
        ok;
   ok = registry->BindCounter(lp + ".probes_sent", &lifecycle_stats_.probes_sent) && ok;
   ok = registry->BindCounter(lp + ".evictions", &lifecycle_stats_.evictions) && ok;
+  const std::string pp = prefix + ".pacing";
+  ok = registry->BindCounter(pp + ".requests_sent", &pacing_stats_.requests_sent) && ok;
+  ok = registry->BindCounter(pp + ".grants_applied", &pacing_stats_.grants_applied) && ok;
+  ok = registry->BindCounter(pp + ".video_deferred", &pacing_stats_.video_deferred) && ok;
+  ok = registry->BindCounter(pp + ".video_dropped", &pacing_stats_.video_dropped) && ok;
+  ok = registry->BindCounter(pp + ".coalesced_flushes", &pacing_stats_.coalesced_flushes) &&
+       ok;
   ok = tx_->RegisterMetrics(registry, prefix + ".txq") && ok;
   return endpoint_->RegisterMetrics(registry, prefix + ".transport") && ok;
 }
@@ -191,7 +238,13 @@ void SlimServer::OnMessage(const Message& msg, NodeId from) {
     Transmit(from, msg.session_id, PongMsg{ping->payload}, 0);
     return;
   }
-  // Status / audio / grants / pongs from consoles need no further action (the pong's job —
+  if (const auto* grant = std::get_if<BandwidthGrantMsg>(&msg.body)) {
+    // The console's allocator answered (or revised a surviving flow's share after some
+    // other flow came or went): close the Section 7 loop by enforcing it on the send path.
+    ApplyGrant(*grant);
+    return;
+  }
+  // Status / audio / pongs from consoles need no further action (the pong's job —
   // liveness — was done by NoteConsoleAlive above).
 }
 
@@ -248,6 +301,11 @@ void SlimServer::AttachSessionToConsole(ServerSession& session, NodeId console) 
   }
   console_to_session_[console] = session.id();
   ++lifecycle_stats_.attaches;
+  if (options_.pacing.enabled) {
+    // Ask the console's allocator for this session's flows before the repaint enters the
+    // pipeline, so the grants are usually in force by the time steady-state traffic flows.
+    RequestSessionBandwidth(session, console);
+  }
   // ForceRepaintAll + Flush: the console's framebuffer is soft state and starts black.
   session.AttachConsole(console);
   ArmProbe(session.id(), lc.probe_gap);
@@ -283,6 +341,12 @@ void SlimServer::DetachSession(ServerSession& session, ReleaseReason reason) {
 }
 
 void SlimServer::ReleaseConsole(NodeId console, uint32_t session_id, ReleaseReason reason) {
+  if (options_.pacing.enabled) {
+    // The queued backlog is for a console about to blank: cancel it so the release notice
+    // is neither stuck behind nor overtaken by worthless bytes, and forget the old
+    // console's grants — the next console's allocator starts fresh.
+    ResetSessionPacing(session_id);
+  }
   ++lifecycle_stats_.releases_sent;
   Transmit(console, session_id, SessionReleaseMsg{reason}, 0);
   // Bounded idempotent re-sends: a lost notice would otherwise leave the console showing
@@ -399,6 +463,11 @@ void SlimServer::EvictSession(uint32_t session_id) {
   const auto card = card_to_session_.find(lc.card_id);
   if (card != card_to_session_.end() && card->second == session_id) {
     card_to_session_.erase(card);
+  }
+  if (options_.pacing.enabled) {
+    // Eviction hygiene: no cancelled session may leave queued sends, depth, or a flow
+    // pacer behind in the transmit queue.
+    ResetSessionPacing(session_id);
   }
   lifecycle_.erase(it);
   sessions_.erase(session_id);

@@ -67,6 +67,45 @@ class RemoteDeviceManager {
   std::map<NodeId, std::vector<uint32_t>> devices_;
 };
 
+// Section 7 congestion control. When enabled, every session that attaches asks its
+// console's bandwidth allocator for two flows — a modest one for the interactive display
+// server and a large one for the video library. The console's grants come back as
+// BandwidthGrantMsg and are enforced as per-flow token buckets in the TransmitQueue. The
+// interactive request is small on purpose: the ascending allocator satisfies small
+// requests first, which is exactly the paper's guarantee that a saturating video stream
+// cannot starve interactive windows. `adapt` additionally makes the session back off
+// under pressure (newest-frame-wins video staging, damage coalescing) instead of letting
+// the paced backlog grow without bound.
+struct PacingOptions {
+  bool enabled = false;
+  // Default per-flow requests sent at attach. Applications may re-request with their own
+  // numbers (the video pipeline requests its actual offered rate when it starts).
+  int64_t interactive_request_bps = 2'000'000;
+  int64_t video_request_bps = 40'000'000;
+  // Token-bucket depth, expressed as time at the granted rate (the paper's Section 7
+  // allocator averages over windows of this order).
+  SimDuration burst_window = 50 * kMillisecond;
+  // Backpressure adaptation. Off leaves grants enforced but the session naive — the
+  // configuration the contended-desktop bench uses to show unbounded queue growth.
+  bool adapt = true;
+  // A video frame is staged (newest wins) instead of sent while its flow's bucket runs
+  // further than this ahead of the clock; interactive flushes defer — damage keeps
+  // coalescing — while the interactive flow is equally far behind or the session's txq
+  // depth exceeds coalesce_watermark.
+  SimDuration pace_backlog_watermark = 50 * kMillisecond;
+  int64_t coalesce_watermark = 8;
+};
+
+// Counters for the congestion-control loop, readable directly and through the registry
+// (`server.pacing.*`).
+struct PacingStats {
+  int64_t requests_sent = 0;      // BandwidthRequestMsg sent to consoles
+  int64_t grants_applied = 0;     // BandwidthGrantMsg applied to the transmit queue
+  int64_t video_deferred = 0;     // video frames staged instead of sent immediately
+  int64_t video_dropped = 0;      // staged frames superseded by a newer one (never sent)
+  int64_t coalesced_flushes = 0;  // flushes deferred with damage left coalescing
+};
+
 struct ServerOptions {
   int32_t session_width = 1280;
   int32_t session_height = 1024;
@@ -81,6 +120,9 @@ struct ServerOptions {
   bool model_cpu_delay = false;
   // Attach/detach state machine, keepalive liveness and eviction policy.
   SessionLifecycleOptions lifecycle;
+  // Bandwidth-grant enforcement and backpressure adaptation (off by default: runs that
+  // never request bandwidth are byte-for-byte identical to the pre-pacing behavior).
+  PacingOptions pacing;
 };
 
 // Counters for every lifecycle transition; readable directly and through the registry
@@ -107,6 +149,9 @@ class SlimServer {
   RemoteDeviceManager& devices() { return devices_; }
   const TransmitQueue& tx_queue() const { return *tx_; }
   const LifecycleStats& lifecycle_stats() const { return lifecycle_stats_; }
+  const PacingStats& pacing_stats() const { return pacing_stats_; }
+  // Sessions update the adaptation counters (video drops, coalesced flushes) directly.
+  PacingStats& pacing_stats() { return pacing_stats_; }
 
   // Creates a session bound to a card id (the session manager resumes it on card insert).
   // If the card was already bound to a live session, that session is evicted first so the
@@ -131,8 +176,13 @@ class SlimServer {
   // the optional busy-pipeline delay. Returns the simulated time at which the message left.
   // Every send — display commands, audio, pongs, session control — funnels through the
   // ordered transmit queue, so zero-cost messages cannot overtake CPU-delayed ones.
+  // `flow_id` charges the send to a granted flow's token bucket (0 = unpaced control).
   SimTime Transmit(NodeId console, uint32_t session_id, MessageBody body,
-                   SimDuration cpu_cost);
+                   SimDuration cpu_cost, uint64_t flow_id = 0);
+
+  // Arms a one-shot callback into ServerSession::OnPaceRetry (session looked up by id at
+  // fire time, so a retry can never dangle past an eviction).
+  void SchedulePaceRetry(uint32_t session_id, SimTime at);
 
   // Registers the server's daemons and transport endpoint with `registry`:
   // `<prefix>.auth.*`, `<prefix>.sessions` / `<prefix>.cards` / `<prefix>.devices` gauges,
@@ -156,6 +206,14 @@ class SlimServer {
   void OnMessage(const Message& msg, NodeId from);
   void HandleAttach(uint64_t card_id, NodeId from);
   void HandleDetach(uint64_t card_id, NodeId from);
+
+  // A console's allocator answered (or revised) a flow's share: enforce it in the
+  // transmit queue and tell the owning session its budget.
+  void ApplyGrant(const BandwidthGrantMsg& grant);
+  // Sends the attach-time bandwidth requests for a session's flows to its console.
+  void RequestSessionBandwidth(ServerSession& session, NodeId console);
+  // Drops a session's queued sends and forgets its flows (release/handoff/eviction).
+  void ResetSessionPacing(uint32_t session_id);
 
   // Binds `session` to `console`: updates the directory, cancels eviction, repaints, and
   // arms the keepalive probe.
@@ -189,6 +247,7 @@ class SlimServer {
   // a stale blank notice cannot chase a fresh repaint.
   std::map<NodeId, std::vector<EventId>> pending_releases_;
   LifecycleStats lifecycle_stats_;
+  PacingStats pacing_stats_;
   uint32_t next_session_id_ = 1;
 };
 

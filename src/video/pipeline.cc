@@ -16,6 +16,15 @@ MediaPipeline::MediaPipeline(Simulator* sim, ServerSession* session,
 
 void MediaPipeline::Start() {
   started_at_ = sim_->now();
+  // Section 7: applications request console bandwidth based on their needs. The library
+  // knows its real offered rate (destination-sized CSCS payloads at the target fps), so it
+  // replaces the server's attach-time default request with the honest number. A no-op when
+  // pacing is off or the session is detached.
+  const auto frame_bytes = static_cast<int64_t>(
+      CscsPayloadBytes(options_.dst.w, options_.dst.h, options_.depth));
+  offered_bps_ = static_cast<int64_t>(static_cast<double>(frame_bytes) * 8.0 *
+                                      options_.target_fps);
+  session_->RequestFlowBandwidth(session_->video_flow(), offered_bps_);
   Tick(0);
 }
 

@@ -38,6 +38,8 @@ class MediaPipeline {
   int frames_sent() const { return frames_sent_; }
   int frames_dropped() const { return frames_dropped_; }
   int64_t bytes_sent() const { return bytes_sent_; }
+  // The bandwidth this stream asked its console for at Start (0 before Start).
+  int64_t offered_bps() const { return offered_bps_; }
   double AchievedFps() const;
   double AverageMbps() const;
 
@@ -53,6 +55,7 @@ class MediaPipeline {
   int frames_sent_ = 0;
   int frames_dropped_ = 0;
   int64_t bytes_sent_ = 0;
+  int64_t offered_bps_ = 0;
 };
 
 }  // namespace slim

@@ -268,6 +268,136 @@ TEST(BandwidthAllocatorTest, NeverOverAllocatesProperty) {
   }
 }
 
+TEST(BandwidthAllocatorTest, NonPositiveRequestsGetExplicitZeroGrants) {
+  const auto grants = AllocateBandwidth({{1, 0}, {2, -5'000'000}, {3, 50'000'000}},
+                                        40'000'000);
+  ASSERT_EQ(grants.size(), 3u);
+  std::map<uint64_t, int64_t> by_flow;
+  for (const auto& g : grants) {
+    by_flow[g.flow_id] = g.bits_per_second;
+  }
+  // Rejected flows appear explicitly (a zero grant, not a missing row) and take no part
+  // in the fair-share split: flow 3 alone gets the whole link.
+  EXPECT_EQ(by_flow.at(1), 0);
+  EXPECT_EQ(by_flow.at(2), 0);
+  EXPECT_EQ(by_flow.at(3), 40'000'000);
+}
+
+TEST(BandwidthAllocatorTest, FairShareResidueHandedOutExactly) {
+  // 100 bps over three equal over-askers: the integer fair share is 33 with residue 1,
+  // which the old divide-and-forget code stranded. The residue goes to the first flow in
+  // the deterministic ascending order, making the total bit-exact.
+  const auto grants = AllocateBandwidth({{1, 200}, {2, 200}, {3, 200}}, 100);
+  ASSERT_EQ(grants.size(), 3u);
+  EXPECT_EQ(grants[0].bits_per_second + grants[1].bits_per_second +
+                grants[2].bits_per_second,
+            100);
+  EXPECT_EQ(grants[0].bits_per_second, 34);
+  EXPECT_EQ(grants[1].bits_per_second, 33);
+  EXPECT_EQ(grants[2].bits_per_second, 33);
+}
+
+TEST(BandwidthAllocatorTest, ContendedTotalIsExactProperty) {
+  // Satellite property: never over-grant any flow, and the granted total equals
+  // min(total, sum of positive requests) exactly — no residue stranded, none invented.
+  Rng rng(0xbadc0ffe);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const int n = 1 + static_cast<int>(rng.NextBelow(12));
+    std::vector<BandwidthRequest> requests;
+    int64_t positive_sum = 0;
+    for (int i = 0; i < n; ++i) {
+      // Mix magnitudes (tiny to huge) and sprinkle non-positive requests in.
+      int64_t bps = static_cast<int64_t>(rng.NextBelow(1'000'000'000));
+      if (rng.NextBelow(8) == 0) {
+        bps = -bps;
+      }
+      positive_sum += std::max<int64_t>(bps, 0);
+      requests.push_back({static_cast<uint64_t>(i), bps});
+    }
+    const int64_t total = 1 + static_cast<int64_t>(rng.NextBelow(2'000'000'000));
+    const auto grants = AllocateBandwidth(requests, total);
+    ASSERT_EQ(grants.size(), requests.size());
+    std::map<uint64_t, int64_t> asked;
+    for (const auto& r : requests) {
+      asked[r.flow_id] = r.bits_per_second;
+    }
+    int64_t sum = 0;
+    for (const auto& g : grants) {
+      EXPECT_GE(g.bits_per_second, 0);
+      EXPECT_LE(g.bits_per_second, std::max<int64_t>(asked.at(g.flow_id), 0));
+      sum += g.bits_per_second;
+    }
+    EXPECT_EQ(sum, std::min(total, positive_sum))
+        << "trial " << trial << ": contended split must be bit-exact";
+  }
+}
+
+TEST(BandwidthAllocatorTest, RemoveReturnsFreshGrantSet) {
+  BandwidthAllocator alloc(100'000'000);
+  alloc.Request(1, 80'000'000);
+  alloc.Request(2, 80'000'000);
+  EXPECT_EQ(alloc.GrantFor(2), 20'000'000);
+  // Remove surfaces the recomputed survivors immediately: no stale-grant window where the
+  // freed 80 Mbps exists but nobody was told.
+  const auto fresh = alloc.Remove(1);
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].flow_id, 2u);
+  EXPECT_EQ(fresh[0].bits_per_second, 80'000'000);
+  EXPECT_EQ(alloc.flow_count(), 1u);
+  // A non-positive request is an explicit withdrawal with the same contract.
+  alloc.Request(3, 60'000'000);
+  const auto after = alloc.Request(2, 0);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0].flow_id, 3u);
+  EXPECT_EQ(after[0].bits_per_second, 60'000'000);
+  EXPECT_EQ(alloc.GrantFor(2), 0);
+}
+
+TEST_F(ConsoleFixture, GrantRevisionsReachEveryMovedFlow) {
+  std::map<uint64_t, std::vector<int64_t>> heard;  // flow -> grant history
+  server_->set_handler([&](const Message& m, NodeId) {
+    if (const auto* g = std::get_if<BandwidthGrantMsg>(&m.body)) {
+      heard[g->flow_id].push_back(g->bits_per_second);
+      EXPECT_EQ(g->total_bps, 100'000'000);  // the console advertises its whole link
+    }
+  });
+  server_->Send(console_.node(), 1, BandwidthRequestMsg{1, 80'000'000});
+  sim_.Run();
+  server_->Send(console_.node(), 1, BandwidthRequestMsg{2, 80'000'000});
+  sim_.Run();
+  // Flow 1's share did not move when flow 2 arrived, so it hears nothing new (no
+  // duplicate grant spam); flow 2 gets the remainder.
+  EXPECT_EQ(heard[1], (std::vector<int64_t>{80'000'000}));
+  EXPECT_EQ(heard[2], (std::vector<int64_t>{20'000'000}));
+  // Withdrawing flow 1 frees its share, and the revision is pushed to flow 2 unasked.
+  server_->Send(console_.node(), 1, BandwidthRequestMsg{1, 0});
+  sim_.Run();
+  EXPECT_EQ(heard[2], (std::vector<int64_t>{20'000'000, 80'000'000}));
+  EXPECT_EQ(console_.grants_sent(), 3);
+}
+
+TEST_F(ConsoleFixture, AppliedReleaseReclaimsTheSessionsFlows) {
+  auto other = std::make_unique<SlimEndpoint>(&fabric_, fabric_.AddNode());
+  std::vector<int64_t> other_grants;
+  other->set_handler([&](const Message& m, NodeId) {
+    if (const auto* g = std::get_if<BandwidthGrantMsg>(&m.body)) {
+      other_grants.push_back(g->bits_per_second);
+    }
+  });
+  server_->Send(console_.node(), 1, BandwidthRequestMsg{1, 80'000'000});
+  sim_.Run();
+  other->Send(console_.node(), 2, BandwidthRequestMsg{11, 80'000'000});
+  sim_.Run();
+  ASSERT_EQ(other_grants, (std::vector<int64_t>{20'000'000}));
+  // The first server's session leaves this console: its flows die with the release and
+  // the freed bandwidth is rebroadcast to the surviving flow immediately.
+  server_->Send(console_.node(), 1, SessionReleaseMsg{ReleaseReason::kHotdesk});
+  sim_.Run();
+  EXPECT_GE(console_.releases_applied(), 1);
+  EXPECT_EQ(other_grants, (std::vector<int64_t>{20'000'000, 80'000'000}));
+  EXPECT_EQ(console_.allocator().flow_count(), 1u);
+}
+
 TEST(BandwidthAllocatorTest, StatefulTrackerUpdatesGrants) {
   BandwidthAllocator alloc(100'000'000);
   alloc.Request(1, 80'000'000);

@@ -81,6 +81,46 @@ TEST(LatencyAuditTest, DisplayCommandDecomposesIntoTxqNetworkDecode) {
   EXPECT_EQ(HistMax(registry, "session.latency.decode_ns"), Milliseconds(5));
 }
 
+TEST(LatencyAuditTest, PaceStallAttributedToPaceNotTxq) {
+  // A departure held back by a bandwidth grant's token bucket must show up as `pace`, so a
+  // pacing-induced breach is distinguishable from CPU queueing (txq) and replay stalls.
+  MetricRegistry registry;
+  LatencyAuditOptions options;
+  options.slo = Milliseconds(10);
+  LatencyAudit audit(options);
+  ASSERT_TRUE(audit.RegisterMetrics(&registry));
+  const NodeId console = 5;
+  const int64_t id = audit.BeginInput(1, /*now=*/0);
+  audit.NoteEnqueued(id);
+  audit.EndInput(id, Milliseconds(1), Milliseconds(1), Milliseconds(1), /*now=*/0);
+  // Departed at 33ms, of which 25ms was the token bucket: txq keeps only the remainder.
+  audit.NoteDeparture(id, console, /*seq=*/42, /*departed=*/Milliseconds(33),
+                      /*pace_delay=*/Milliseconds(25));
+  audit.NoteDecodeStart(console, 42, /*arrival=*/Milliseconds(34));
+  audit.NotePresent(console, 42, /*completion=*/Milliseconds(35));
+  EXPECT_EQ(audit.events_completed(), 1);
+  EXPECT_EQ(HistMax(registry, "session.latency.pace_ns"), Milliseconds(25));
+  EXPECT_EQ(HistMax(registry, "session.latency.txq_ns"), Milliseconds(5));  // 33 - 3 - 25
+  EXPECT_EQ(audit.breaches(), 1);
+  EXPECT_EQ(audit.last_breach_stage(), kStagePace);
+  EXPECT_EQ(audit.breaches_by(kStagePace), 1);
+}
+
+TEST(LatencyAuditTest, PurgedCommandClosesItsSlot) {
+  // A queued command cancelled by a transmit-queue purge (session release/eviction) must
+  // not leave its input event dangling as incomplete forever.
+  LatencyAudit audit;
+  const int64_t id = audit.BeginInput(1, 0);
+  audit.NoteEnqueued(id);
+  audit.NoteEnqueued(id);
+  audit.EndInput(id, 0, 0, Milliseconds(1), 0);
+  EXPECT_EQ(audit.events_completed(), 0);
+  audit.NotePurged(id);
+  EXPECT_EQ(audit.events_completed(), 0);  // one command still outstanding
+  audit.NotePurged(id);
+  EXPECT_EQ(audit.events_completed(), 1);  // both purged: event folds as dispatched-only
+}
+
 TEST(LatencyAuditTest, DeferredDepartureAfterEndInputStillTracksTheTail) {
   // The transmit queue enqueues during dispatch but may send after EndInput; the entry
   // must stay open on NoteEnqueued alone or the tail is silently lost.
@@ -218,7 +258,8 @@ TEST(LatencyAuditTest, FullSessionAuditsEveryKeystroke) {
                       "session.latency.s" + std::to_string(session.id()) + ".e2e_ns"),
             kEvents);
   // Sanity on the decomposition: every stage histogram saw every event.
-  for (const char* stage : {"render", "encode", "wire_cpu", "txq", "network", "decode"}) {
+  for (const char* stage :
+       {"render", "encode", "wire_cpu", "txq", "pace", "network", "decode"}) {
     EXPECT_EQ(HistCount(registry, std::string("session.latency.") + stage + "_ns"), kEvents)
         << stage;
   }

@@ -132,8 +132,8 @@ TEST(MessageTest, InputAndControlRoundTrips) {
                 RoundTrip(Message{1, 5, BandwidthRequestMsg{7, 20'000'000}}).body),
             (BandwidthRequestMsg{7, 20'000'000}));
   EXPECT_EQ(std::get<BandwidthGrantMsg>(
-                RoundTrip(Message{1, 6, BandwidthGrantMsg{7, 10'000'000}}).body),
-            (BandwidthGrantMsg{7, 10'000'000}));
+                RoundTrip(Message{1, 6, BandwidthGrantMsg{7, 10'000'000, 100'000'000}}).body),
+            (BandwidthGrantMsg{7, 10'000'000, 100'000'000}));
   EXPECT_EQ(std::get<PingMsg>(RoundTrip(Message{1, 7, PingMsg{42}}).body), (PingMsg{42}));
   EXPECT_EQ(std::get<PongMsg>(RoundTrip(Message{1, 8, PongMsg{42}}).body), (PongMsg{42}));
 }
