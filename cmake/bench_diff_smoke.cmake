@@ -16,6 +16,18 @@ foreach(var HARNESS BENCH_DIFF BASELINE OUT_DIR)
   endif()
 endforeach()
 
+# Optional DIFF_SKIPS: comma-separated substrings of metric names to exclude from the
+# gate (forwarded as repeated `bench_diff --skip`). Used by harnesses that mix pinned
+# deterministic metrics with machine-dependent timing metrics (bench_kernels gates its
+# parity checksums while its GB/s and speedup numbers vary by host).
+set(skip_args "")
+if(DEFINED DIFF_SKIPS)
+  string(REPLACE "," ";" skip_list "${DIFF_SKIPS}")
+  foreach(skip ${skip_list})
+    list(APPEND skip_args --skip ${skip})
+  endforeach()
+endif()
+
 file(MAKE_DIRECTORY ${OUT_DIR})
 get_filename_component(name ${HARNESS} NAME)
 
@@ -34,7 +46,7 @@ endif()
 
 get_filename_component(report ${BASELINE} NAME)
 execute_process(
-  COMMAND ${BENCH_DIFF} --tol 0.000001 ${BASELINE} ${OUT_DIR}/${report}
+  COMMAND ${BENCH_DIFF} --tol 0.000001 ${skip_args} ${BASELINE} ${OUT_DIR}/${report}
   RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR

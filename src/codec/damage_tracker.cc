@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "src/codec/encoder.h"
+#include "src/codec/kernels/kernels.h"
 #include "src/codec/row_hash.h"
 #include "src/util/check.h"
 
@@ -62,7 +63,8 @@ void DamageTracker::RehashRow(int32_t y) {
 void DamageTracker::CopySpans(const Framebuffer& fb, int32_t y0, int32_t y1, int32_t x0,
                               int32_t w) {
   for (int32_t y = y0; y < y1; ++y) {
-    shadow_.SetPixels(Rect{x0, y, w, 1}, fb.Row(y, x0, w));
+    std::memcpy(shadow_.MutableRow(y, x0, w).data(), fb.Row(y, x0, w).data(),
+                static_cast<size_t>(w) * sizeof(Pixel));
     RehashRow(y);
   }
 }
@@ -118,7 +120,8 @@ Region DamageTracker::Refine(const Framebuffer& fb, const Region& damage,
   // Syncs the shadow's row y to fb over columns [x0, x0+w) and refreshes the stored row
   // hash — for free from the fb-hash cache when the synced row now equals fb's full row.
   const auto sync_row = [&](int32_t y, int32_t x0, int32_t w, bool row_now_matches_fb) {
-    shadow_.SetPixels(Rect{x0, y, w, 1}, fb.Row(y, x0, w));
+    std::memcpy(shadow_.MutableRow(y, x0, w).data(), fb.Row(y, x0, w).data(),
+                static_cast<size_t>(w) * sizeof(Pixel));
     row_hashes_[static_cast<size_t>(y)] =
         row_now_matches_fb ? fb_hash(y) : RowHash64(shadow_.Row(y));
   };
@@ -157,6 +160,7 @@ Region DamageTracker::Refine(const Framebuffer& fb, const Region& damage,
     }
   }
 
+  const KernelOps& kernels = Kernels();
   Region refined;
   for (const Rect& r : damage.rects()) {
     SLIM_DCHECK(shadow_.bounds().ContainsRect(r));
@@ -170,17 +174,12 @@ Region DamageTracker::Refine(const Framebuffer& fb, const Region& damage,
       }
       const std::span<const Pixel> cur = fb.Row(y, r.x, r.w);
       const std::span<const Pixel> old = shadow_.Row(y, r.x, r.w);
-      if (std::memcmp(cur.data(), old.data(), cur.size_bytes()) == 0) {
-        continue;  // the change is on this row but outside this rect
-      }
-      // Tight changed extent: first and last differing pixel in the rect's columns.
+      // Tight changed extent — first and last differing pixel in the rect's columns —
+      // in one kernel pass instead of a memcmp plus two scalar scans.
       int32_t lo = 0;
-      while (cur[static_cast<size_t>(lo)] == old[static_cast<size_t>(lo)]) {
-        ++lo;
-      }
       int32_t hi = r.w;  // exclusive
-      while (cur[static_cast<size_t>(hi - 1)] == old[static_cast<size_t>(hi - 1)]) {
-        --hi;
+      if (!kernels.row_diff_span(cur.data(), old.data(), cur.size(), &lo, &hi)) {
+        continue;  // the change is on this row but outside this rect
       }
       // Bring the shadow up to date for this row before moving on; fb hashes are cached,
       // so later rects sharing the row still compare correctly. A full-width rect leaves

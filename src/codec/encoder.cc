@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/codec/kernels/kernels.h"
 #include "src/codec/row_hash.h"
 #include "src/util/check.h"
 
@@ -12,21 +13,17 @@ namespace slim {
 
 namespace {
 
-// Classification of a rectangle's pixel population. `first` and `second` are the first two
-// distinct colors encountered in scan order (not the most common ones); for the bicolor
-// regions BITMAP targets the two sets coincide, and for anything richer the scan bails out
-// at distinct == 3 anyway.
-struct ColorScan {
-  int distinct = 0;  // 0, 1, 2, or 3 meaning ">2"
-  Pixel first = 0;
-  Pixel second = 0;
-};
-
+// Classifies a rectangle's pixel population via the kernel layer's ColorScan: `first`
+// and `second` are the first two distinct colors encountered in scan order (not the
+// most common ones); for the bicolor regions BITMAP targets the two sets coincide, and
+// for anything richer the scan bails out at distinct == 3 anyway.
+//
 // r must lie inside fb.bounds() — every caller analyzes bands/chunks that EncodeRect
 // already clipped. Scanning row spans bounds-checks once per row, and a row that repeats
 // the previous row byte-for-byte (solid panels, text leading, letterboxing) is skipped
 // with one memcmp instead of being re-classified pixel by pixel.
 ColorScan ScanColors(const Framebuffer& fb, const Rect& r) {
+  const KernelOps& kernels = Kernels();
   ColorScan scan;
   const size_t row_bytes = static_cast<size_t>(r.w) * sizeof(Pixel);
   std::span<const Pixel> prev;
@@ -35,19 +32,9 @@ ColorScan ScanColors(const Framebuffer& fb, const Rect& r) {
     if (!prev.empty() && std::memcmp(row.data(), prev.data(), row_bytes) == 0) {
       continue;
     }
-    for (const Pixel p : row) {
-      if (scan.distinct == 0) {
-        scan.first = p;
-        scan.distinct = 1;
-      } else if (p != scan.first) {
-        if (scan.distinct == 1) {
-          scan.second = p;
-          scan.distinct = 2;
-        } else if (p != scan.second) {
-          scan.distinct = 3;
-          return scan;
-        }
-      }
+    kernels.scan_colors(row.data(), row.size(), &scan);
+    if (scan.distinct >= 3) {
+      return scan;
     }
     prev = row;
   }
@@ -59,15 +46,19 @@ ColorScan ScanColors(const Framebuffer& fb, const Rect& r) {
 // inherits from the probe implementation). The out-of-bounds path materializes the span
 // first so both paths hash the identical pixel sequence — a black-padded span must
 // collide with a genuinely black row, exactly as pixel-by-pixel comparison would.
-uint64_t HashRowSpan(const Framebuffer& fb, int32_t y, int32_t x0, int32_t w) {
+// `scratch` is caller-owned scratch for that padded span: scroll probing near frame
+// edges calls this once per candidate row, and a per-call std::vector was a heap
+// allocation inside the detector's hot loop.
+uint64_t HashRowSpan(const Framebuffer& fb, int32_t y, int32_t x0, int32_t w,
+                     std::vector<Pixel>* scratch) {
   if (y >= 0 && y < fb.height() && x0 >= 0 && x0 + w <= fb.width()) {
     return RowHash64(fb.Row(y, x0, w));
   }
-  std::vector<Pixel> padded(static_cast<size_t>(w));
+  scratch->resize(static_cast<size_t>(w));  // reuses capacity across calls
   for (int32_t x = x0; x < x0 + w; ++x) {
-    padded[static_cast<size_t>(x - x0)] = fb.GetPixel(x, y);
+    (*scratch)[static_cast<size_t>(x - x0)] = fb.GetPixel(x, y);
   }
-  return RowHash64(padded);
+  return RowHash64(*scratch);
 }
 
 // after(x, ya) == before(x, yb) for all x in [x0, x0+w)? memcmp when both row spans are in
@@ -233,23 +224,15 @@ void Encoder::EmitSet(const Framebuffer& fb, const Rect& rect,
 
 void Encoder::EmitBitmap(const Framebuffer& fb, const Rect& rect, Pixel bg, Pixel fg,
                          std::vector<DisplayCommand>* out) const {
+  // The kernel packs MSB-first with the trailing bits of a row's final byte zero,
+  // exactly the layout ExpandBitmap expects.
+  const KernelOps& kernels = Kernels();
   const size_t stride = (static_cast<size_t>(rect.w) + 7) / 8;
   std::vector<uint8_t> bits(stride * static_cast<size_t>(rect.h), 0);
   for (int32_t y = rect.y; y < rect.bottom(); ++y) {
     const std::span<const Pixel> row = fb.Row(y, rect.x, rect.w);
-    uint8_t* out_row = &bits[static_cast<size_t>(y - rect.y) * stride];
-    int32_t x = 0;
-    for (size_t byte = 0; byte < stride; ++byte) {
-      // The final byte of a row packs rect.w % 8 pixels; its trailing bits stay zero.
-      const int32_t lanes = std::min<int32_t>(8, rect.w - x);
-      uint8_t packed = 0;
-      for (int32_t bit = 0; bit < lanes; ++bit, ++x) {
-        if (row[static_cast<size_t>(x)] == fg) {
-          packed |= static_cast<uint8_t>(1u << (7 - bit));
-        }
-      }
-      out_row[byte] = packed;
-    }
+    kernels.pack_bitmap_row(row.data(), row.size(), fg,
+                            &bits[static_cast<size_t>(y - rect.y) * stride]);
   }
   out->push_back(BitmapCommand{rect, fg, bg, std::move(bits)});
 }
@@ -298,12 +281,14 @@ int32_t DetectVerticalScroll(const Framebuffer& before, const Framebuffer& after
       hints->before_rows.size() >= static_cast<size_t>(r.bottom());
   std::vector<uint64_t> after_hash(static_cast<size_t>(r.h));
   std::vector<uint64_t> before_hash(static_cast<size_t>(r.h));
+  std::vector<Pixel> scratch;  // shared pad buffer for rows hanging off the frame edge
   for (int32_t i = 0; i < r.h; ++i) {
     const size_t yi = static_cast<size_t>(r.y + i);
     after_hash[static_cast<size_t>(i)] =
-        use_hints ? hints->after_rows[yi] : HashRowSpan(after, r.y + i, r.x, r.w);
+        use_hints ? hints->after_rows[yi] : HashRowSpan(after, r.y + i, r.x, r.w, &scratch);
     before_hash[static_cast<size_t>(i)] =
-        use_hints ? hints->before_rows[yi] : HashRowSpan(before, r.y + i, r.x, r.w);
+        use_hints ? hints->before_rows[yi]
+                  : HashRowSpan(before, r.y + i, r.x, r.w, &scratch);
   }
   std::unordered_map<uint64_t, std::vector<int32_t>> index;
   index.reserve(static_cast<size_t>(r.h));

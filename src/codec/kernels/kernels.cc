@@ -1,0 +1,127 @@
+#include "src/codec/kernels/kernels.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/codec/kernels/kernels_internal.h"
+
+namespace slim {
+
+namespace {
+
+const KernelOps kScalarKernels{
+    KernelTier::kScalar,    RowHashScalar,      ScanColorsScalar,
+    PackBitmapRowScalar,    RowDiffSpanScalar,  RgbToYuvRowScalar,
+};
+
+// Resolved-once dispatch table. Resolution races are benign: every racer computes the
+// same value, and the pointer is only ever swapped afterwards by ScopedKernelsForTest.
+std::atomic<const KernelOps*> g_kernels{nullptr};
+
+const KernelOps* Resolve() {
+  const KernelTier best = BestSupportedTier();
+  const char* value = std::getenv("SLIM_KERNELS");
+  if (value == nullptr || *value == '\0') {
+    return KernelsForTier(best);
+  }
+  const std::optional<KernelTier> forced = KernelTierFromName(value);
+  if (!forced.has_value()) {
+    std::fprintf(stderr,
+                 "slim: ignoring SLIM_KERNELS='%s' (want scalar, sse2, avx2 or neon); "
+                 "using %s\n",
+                 value, KernelTierName(best));
+    return KernelsForTier(best);
+  }
+  const KernelOps* ops = KernelsForTier(*forced);
+  if (ops == nullptr) {
+    std::fprintf(stderr, "slim: SLIM_KERNELS=%s is not supported on this CPU; using %s\n",
+                 KernelTierName(*forced), KernelTierName(best));
+    return KernelsForTier(best);
+  }
+  return ops;
+}
+
+}  // namespace
+
+const char* KernelTierName(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kScalar:
+      return "scalar";
+    case KernelTier::kSse2:
+      return "sse2";
+    case KernelTier::kAvx2:
+      return "avx2";
+    case KernelTier::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+std::optional<KernelTier> KernelTierFromName(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name) {
+    lower.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c);
+  }
+  if (lower == "scalar") {
+    return KernelTier::kScalar;
+  }
+  if (lower == "sse2") {
+    return KernelTier::kSse2;
+  }
+  if (lower == "avx2") {
+    return KernelTier::kAvx2;
+  }
+  if (lower == "neon") {
+    return KernelTier::kNeon;
+  }
+  return std::nullopt;
+}
+
+const KernelOps* KernelsForTier(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kScalar:
+      return &kScalarKernels;
+    case KernelTier::kSse2:
+      return GetSse2Kernels();
+    case KernelTier::kAvx2:
+      return GetAvx2Kernels();
+    case KernelTier::kNeon:
+      return GetNeonKernels();
+  }
+  return nullptr;
+}
+
+KernelTier BestSupportedTier() {
+  if (GetAvx2Kernels() != nullptr) {
+    return KernelTier::kAvx2;
+  }
+  if (GetNeonKernels() != nullptr) {
+    return KernelTier::kNeon;
+  }
+  if (GetSse2Kernels() != nullptr) {
+    return KernelTier::kSse2;
+  }
+  return KernelTier::kScalar;
+}
+
+const KernelOps& Kernels() {
+  const KernelOps* ops = g_kernels.load(std::memory_order_acquire);
+  if (ops == nullptr) {
+    ops = Resolve();
+    g_kernels.store(ops, std::memory_order_release);
+  }
+  return *ops;
+}
+
+ScopedKernelsForTest::ScopedKernelsForTest(const KernelOps* ops) {
+  saved_ = &Kernels();  // force resolution so the restore puts back a real table
+  g_kernels.store(ops, std::memory_order_release);
+}
+
+ScopedKernelsForTest::~ScopedKernelsForTest() {
+  g_kernels.store(saved_, std::memory_order_release);
+}
+
+}  // namespace slim

@@ -1,0 +1,114 @@
+// SIMD pixel-kernel layer with runtime CPU dispatch.
+//
+// Every per-pixel hot loop in the damage/encode/convert path (row hashing, two-color
+// scanning, bitmap bit-packing, row diffing, RGB->YUV conversion) funnels through the
+// function pointers in KernelOps. A tier is one complete implementation of that table:
+// scalar (the portable reference), SSE2, AVX2, and a NEON stub that forwards to scalar
+// until someone with ARM hardware fills it in. Dispatch is resolved exactly once, at
+// first use, from CPUID plus the SLIM_KERNELS env override, and published through the
+// metric registry as `codec.kernels.tier`.
+//
+// The load-bearing invariant: EVERY tier is bit-identical to the scalar reference on
+// every input — same hash constants, same first/second color choice, same fixed-point
+// YUV rounding. The encoder's wire output therefore does not depend on the machine the
+// server runs on (or on SLIM_KERNELS), which keeps the PR 3/PR 4 stream-equality
+// properties — identical bytes for every thread count — holding per kernel tier too.
+// tests/kernels_test.cc fuzzes each tier against scalar across widths 1..257 and
+// unaligned offsets; never add a tier function that "almost" matches.
+
+#ifndef SRC_CODEC_KERNELS_KERNELS_H_
+#define SRC_CODEC_KERNELS_KERNELS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/fb/framebuffer.h"
+
+namespace slim {
+
+enum class KernelTier : uint8_t {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+  kNeon = 3,
+};
+
+const char* KernelTierName(KernelTier tier);
+
+// Parses a SLIM_KERNELS value ("scalar", "sse2", "avx2", "neon", case-insensitive).
+// Returns nullopt for anything else.
+std::optional<KernelTier> KernelTierFromName(const std::string& name);
+
+// Incremental state for the encoder's two-color classification. `distinct` saturates at
+// 3 (meaning "more than two"); `first`/`second` are the first two distinct pixel values
+// in scan order, exactly as the scalar loop would have picked them.
+struct ColorScan {
+  int distinct = 0;
+  Pixel first = 0;
+  Pixel second = 0;
+};
+
+struct KernelOps {
+  KernelTier tier = KernelTier::kScalar;
+
+  // The shared 4-lane FNV-1a row hash (see src/codec/row_hash.h for the algorithm and
+  // why producers and consumers must agree on this one definition).
+  uint64_t (*row_hash)(const Pixel* row, size_t n);
+
+  // Feeds n pixels into `scan`, early-exiting as soon as distinct hits 3. Safe to call
+  // row by row with the same state.
+  void (*scan_colors)(const Pixel* row, size_t n, ColorScan* scan);
+
+  // Packs one row to 1bpp MSB-first: bit (7 - i%8) of out[i/8] is 1 iff row[i] == fg.
+  // Writes exactly (n+7)/8 bytes; trailing bits of the last byte are zero.
+  void (*pack_bitmap_row)(const Pixel* row, size_t n, Pixel fg, uint8_t* out);
+
+  // Returns false when a[0..n) == b[0..n); otherwise true with *lo / *hi set to the
+  // first differing index and one past the last differing index.
+  bool (*row_diff_span)(const Pixel* a, const Pixel* b, size_t n, int32_t* lo,
+                        int32_t* hi);
+
+  // Bulk BT.601 full-range RGB->YUV over one row, writing the three planes. Fixed-point
+  // (20-bit coefficients, round-half-up) so every tier rounds identically; the
+  // single-pixel RgbToYuv in src/color/yuv.cc uses the same arithmetic.
+  void (*rgb_to_yuv_row)(const Pixel* rgb, size_t n, uint8_t* y, uint8_t* u, uint8_t* v);
+};
+
+// The dispatch table for `tier`, or nullptr when that tier is not compiled in or the
+// CPU cannot execute it. KernelTier::kScalar never returns nullptr.
+const KernelOps* KernelsForTier(KernelTier tier);
+
+// The best tier this CPU supports (what dispatch picks absent SLIM_KERNELS).
+KernelTier BestSupportedTier();
+
+// The process-wide kernel table. First call resolves: SLIM_KERNELS forces a tier (with
+// a warning + fallback to BestSupportedTier() when the value is unknown or the CPU
+// lacks it); otherwise BestSupportedTier() wins. Thread-safe; the resolved table never
+// changes afterwards except through ScopedKernelsForTest.
+const KernelOps& Kernels();
+
+// Test-only: overrides Kernels() for the scope of the object. Not safe while encoder
+// worker pools or other threads are touching kernels concurrently — install it before
+// spawning them (tests/kernels_test.cc uses it to prove wire-stream equality per tier).
+class ScopedKernelsForTest {
+ public:
+  explicit ScopedKernelsForTest(const KernelOps* ops);
+  ~ScopedKernelsForTest();
+  ScopedKernelsForTest(const ScopedKernelsForTest&) = delete;
+  ScopedKernelsForTest& operator=(const ScopedKernelsForTest&) = delete;
+
+ private:
+  const KernelOps* saved_;
+};
+
+// Per-tier tables, defined in their own translation units so only kernels_avx2.cc is
+// compiled with -mavx2 (see src/CMakeLists.txt). Each returns nullptr when its ISA is
+// not available to the build.
+const KernelOps* GetSse2Kernels();
+const KernelOps* GetAvx2Kernels();
+const KernelOps* GetNeonKernels();
+
+}  // namespace slim
+
+#endif  // SRC_CODEC_KERNELS_KERNELS_H_

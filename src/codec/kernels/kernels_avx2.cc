@@ -1,0 +1,227 @@
+// AVX2 kernel tier. This is the only translation unit compiled with -mavx2 (see
+// src/CMakeLists.txt), so nothing here may be called before the runtime CPUID check in
+// GetAvx2Kernels() — the dispatch table is the only export.
+//
+// Bit-identity with the scalar reference is the contract (see kernels.h). Each kernel
+// vectorizes the regular body and hands heads/tails/rare paths to the scalar reference
+// from kernels_internal.h, which is compiled into THIS translation unit (internal
+// linkage) and therefore may legally use AVX2 codegen here.
+
+#include "src/codec/kernels/kernels.h"
+#include "src/codec/kernels/kernels_internal.h"
+
+#if defined(__AVX2__) && (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+namespace slim {
+namespace {
+
+// ---- Row hash ------------------------------------------------------------------------
+//
+// Deliberately the scalar reference. AVX2 has no 64-bit multiply, and a vector FNV step
+// built from the prime's decomposition ((1 << 40) + 0x1b3, i.e. two 32x32 widening
+// multiplies plus shifts per step) was measured at 0.4x the scalar loop on this
+// workload: the hash is one serial dependency chain per lane, and four independent
+// scalar imuls pipeline better than the longer vector chain. bench_kernels keeps
+// reporting the per-tier numbers, so a future attempt has a gate to beat.
+
+// ---- Two-color scan ------------------------------------------------------------------
+
+// 8-bit mask with bit j set iff pixel j matches either color.
+inline int MatchMask8(const Pixel* p, __m256i c1, __m256i c2) {
+  const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  const __m256i ok =
+      _mm256_or_si256(_mm256_cmpeq_epi32(v, c1), _mm256_cmpeq_epi32(v, c2));
+  return _mm256_movemask_ps(_mm256_castsi256_ps(ok));
+}
+
+void ScanColorsAvx2(const Pixel* row, size_t n, ColorScan* scan) {
+  size_t i = 0;
+  if (n == 0 || scan->distinct >= 3) {
+    return;
+  }
+  if (scan->distinct == 0) {
+    scan->first = row[0];
+    scan->distinct = 1;
+    i = 1;
+  }
+  // Vector-scan against the current color set; on the first pixel outside it, promote
+  // that pixel exactly as the scalar loop would, re-broadcast, and continue.
+  for (;;) {
+    const __m256i c1 = _mm256_set1_epi32(static_cast<int32_t>(scan->first));
+    const __m256i c2 = _mm256_set1_epi32(
+        static_cast<int32_t>(scan->distinct == 2 ? scan->second : scan->first));
+    bool mismatch = false;
+    for (; i + 8 <= n; i += 8) {
+      const int mask = MatchMask8(row + i, c1, c2);
+      if (mask != 0xff) {
+        i += static_cast<size_t>(__builtin_ctz(~static_cast<unsigned>(mask) & 0xffu));
+        mismatch = true;
+        break;
+      }
+    }
+    if (!mismatch) {
+      ScanColorsScalar(row + i, n - i, scan);  // < 8 pixels left
+      return;
+    }
+    if (scan->distinct == 1) {
+      scan->second = row[i];
+      scan->distinct = 2;
+      ++i;
+      continue;
+    }
+    scan->distinct = 3;  // third distinct color: early-exit, like scalar
+    return;
+  }
+}
+
+// ---- Bitmap row packing --------------------------------------------------------------
+
+void PackBitmapRowAvx2(const Pixel* row, size_t n, Pixel fg, uint8_t* out) {
+  const __m256i f = _mm256_set1_epi32(static_cast<int32_t>(fg));
+  size_t x = 0;
+  size_t byte = 0;
+  for (; x + 8 <= n; x += 8, ++byte) {
+    const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + x));
+    const int mask = _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(v, f)));
+    out[byte] = kBitReverse[static_cast<size_t>(mask)];
+  }
+  if (x < n) {
+    PackBitmapRowScalar(row + x, n - x, fg, out + byte);
+  }
+}
+
+// ---- Row diff span -------------------------------------------------------------------
+
+// 8-bit mask with bit j set iff a[j] == b[j].
+inline int EqMask8(const Pixel* a, const Pixel* b) {
+  const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+  const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+  return _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(va, vb)));
+}
+
+bool RowDiffSpanAvx2(const Pixel* a, const Pixel* b, size_t n, int32_t* lo, int32_t* hi) {
+  size_t first = n;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const int mask = EqMask8(a + i, b + i);
+    if (mask != 0xff) {
+      first = i + static_cast<size_t>(__builtin_ctz(~static_cast<unsigned>(mask) & 0xffu));
+      break;
+    }
+  }
+  if (first == n) {
+    for (; i < n; ++i) {
+      if (a[i] != b[i]) {
+        first = i;
+        break;
+      }
+    }
+    if (first == n) {
+      return false;
+    }
+  }
+  // A mismatch exists at `first`, so the backward scan always terminates: the vector
+  // block that contains `first` cannot be all-equal.
+  size_t last = first + 1;
+  for (size_t j = n;;) {
+    if (j >= 8) {
+      const int mask = EqMask8(a + j - 8, b + j - 8);
+      if (mask == 0xff) {
+        j -= 8;
+        continue;
+      }
+      const unsigned mismatches = ~static_cast<unsigned>(mask) & 0xffu;
+      last = j - 8 + static_cast<size_t>(31 - __builtin_clz(mismatches)) + 1;
+      break;
+    }
+    if (a[j - 1] != b[j - 1]) {
+      last = j;
+      break;
+    }
+    --j;
+  }
+  *lo = static_cast<int32_t>(first);
+  *hi = static_cast<int32_t>(last);
+  return true;
+}
+
+// ---- RGB -> YUV ----------------------------------------------------------------------
+
+// Low byte of each of the 8 32-bit lanes, stored as 8 contiguous bytes.
+inline void StoreLowBytes8(uint8_t* dst, __m256i v32) {
+  const __m256i shuffle = _mm256_setr_epi8(
+      0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,
+      0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1);
+  const __m256i packed = _mm256_shuffle_epi8(v32, shuffle);
+  const __m256i gathered =
+      _mm256_permutevar8x32_epi32(packed, _mm256_setr_epi32(0, 4, 0, 0, 0, 0, 0, 0));
+  _mm_storel_epi64(reinterpret_cast<__m128i*>(dst), _mm256_castsi256_si128(gathered));
+}
+
+void RgbToYuvRowAvx2(const Pixel* rgb, size_t n, uint8_t* y, uint8_t* u, uint8_t* v) {
+  const __m256i byte_mask = _mm256_set1_epi32(0xff);
+  const __m256i yr = _mm256_set1_epi32(kYR), yg = _mm256_set1_epi32(kYG),
+                yb = _mm256_set1_epi32(kYB);
+  const __m256i ur = _mm256_set1_epi32(kUR), ug = _mm256_set1_epi32(kUG),
+                ub = _mm256_set1_epi32(kUB);
+  const __m256i vr = _mm256_set1_epi32(kVR), vg = _mm256_set1_epi32(kVG),
+                vb = _mm256_set1_epi32(kVB);
+  const __m256i bias_half = _mm256_set1_epi32(kYuvBias + kYuvHalf);
+  const __m256i half = _mm256_set1_epi32(kYuvHalf);
+  const __m256i max255 = _mm256_set1_epi32(255);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i px = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rgb + i));
+    const __m256i r = _mm256_and_si256(_mm256_srli_epi32(px, 16), byte_mask);
+    const __m256i g = _mm256_and_si256(_mm256_srli_epi32(px, 8), byte_mask);
+    const __m256i b = _mm256_and_si256(px, byte_mask);
+    // All three accumulators stay non-negative (see the bounds note in
+    // kernels_internal.h), so a logical shift is the scalar arithmetic shift.
+    const __m256i yv = _mm256_srli_epi32(
+        _mm256_add_epi32(_mm256_add_epi32(_mm256_mullo_epi32(r, yr),
+                                          _mm256_mullo_epi32(g, yg)),
+                         _mm256_add_epi32(_mm256_mullo_epi32(b, yb), half)),
+        kYuvShift);
+    const __m256i uv = _mm256_srli_epi32(
+        _mm256_sub_epi32(_mm256_sub_epi32(_mm256_add_epi32(bias_half,
+                                                           _mm256_mullo_epi32(b, ub)),
+                                          _mm256_mullo_epi32(r, ur)),
+                         _mm256_mullo_epi32(g, ug)),
+        kYuvShift);
+    const __m256i vv = _mm256_srli_epi32(
+        _mm256_sub_epi32(_mm256_sub_epi32(_mm256_add_epi32(bias_half,
+                                                           _mm256_mullo_epi32(r, vr)),
+                                          _mm256_mullo_epi32(g, vg)),
+                         _mm256_mullo_epi32(b, vb)),
+        kYuvShift);
+    StoreLowBytes8(y + i, yv);
+    StoreLowBytes8(u + i, _mm256_min_epi32(uv, max255));
+    StoreLowBytes8(v + i, _mm256_min_epi32(vv, max255));
+  }
+  if (i < n) {
+    RgbToYuvRowScalar(rgb + i, n - i, y + i, u + i, v + i);
+  }
+}
+
+const KernelOps kAvx2Kernels{
+    KernelTier::kAvx2,  RowHashScalar,    ScanColorsAvx2,
+    PackBitmapRowAvx2,  RowDiffSpanAvx2,  RgbToYuvRowAvx2,
+};
+
+}  // namespace
+
+const KernelOps* GetAvx2Kernels() {
+  return __builtin_cpu_supports("avx2") ? &kAvx2Kernels : nullptr;
+}
+
+}  // namespace slim
+
+#else  // !(__AVX2__ && x86)
+
+namespace slim {
+const KernelOps* GetAvx2Kernels() { return nullptr; }
+}  // namespace slim
+
+#endif

@@ -1,0 +1,35 @@
+// NEON kernel tier — a stub behind the full KernelOps interface. On AArch64 builds it
+// registers as a distinct tier (so dispatch, the SLIM_KERNELS override, the registry
+// gauge and the parity tests all exercise the ARM path) but currently forwards every
+// kernel to the scalar reference; filling in vector bodies is purely local to this file.
+// The compare-shaped kernels (scan/pack/diff) map onto vceqq_u32 + narrowing the same
+// way the SSE2 tier maps onto cmpeq + movemask, and the YUV kernel onto vmlaq_s32.
+//
+// Bit-identity with scalar is trivially true today; keep it true when vectorizing.
+
+#include "src/codec/kernels/kernels.h"
+#include "src/codec/kernels/kernels_internal.h"
+
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+
+namespace slim {
+namespace {
+
+const KernelOps kNeonKernels{
+    KernelTier::kNeon,   RowHashScalar,      ScanColorsScalar,
+    PackBitmapRowScalar, RowDiffSpanScalar,  RgbToYuvRowScalar,
+};
+
+}  // namespace
+
+const KernelOps* GetNeonKernels() { return &kNeonKernels; }
+
+}  // namespace slim
+
+#else  // !__ARM_NEON
+
+namespace slim {
+const KernelOps* GetNeonKernels() { return nullptr; }
+}  // namespace slim
+
+#endif

@@ -11,6 +11,11 @@
 // function (shadow row hashes vs current-frame row hashes, before vs after scroll rows),
 // so the exact constants only need to mix well — but producers and consumers must agree
 // on this one definition, which is why it lives in a shared header.
+//
+// The implementation lives in the SIMD kernel layer (src/codec/kernels/): this wrapper
+// routes through the runtime-dispatched table, and every tier is bit-identical to the
+// scalar reference (same lanes, same constants), so hashes computed under different
+// SLIM_KERNELS settings — or stored before a dispatch change — still compare equal.
 
 #ifndef SRC_CODEC_ROW_HASH_H_
 #define SRC_CODEC_ROW_HASH_H_
@@ -18,37 +23,13 @@
 #include <cstdint>
 #include <span>
 
+#include "src/codec/kernels/kernels.h"
 #include "src/fb/framebuffer.h"
 
 namespace slim {
 
 inline uint64_t RowHash64(std::span<const Pixel> row) {
-  constexpr uint64_t kPrime = 0x100000001b3ull;
-  uint64_t h0 = 0xcbf29ce484222325ull;
-  uint64_t h1 = 0x9e3779b97f4a7c15ull;
-  uint64_t h2 = 0xbf58476d1ce4e5b9ull;
-  uint64_t h3 = 0x94d049bb133111ebull;
-  const size_t n = row.size();
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    h0 = (h0 ^ row[i]) * kPrime;
-    h1 = (h1 ^ row[i + 1]) * kPrime;
-    h2 = (h2 ^ row[i + 2]) * kPrime;
-    h3 = (h3 ^ row[i + 3]) * kPrime;
-  }
-  for (; i < n; ++i) {
-    h0 = (h0 ^ row[i]) * kPrime;
-  }
-  // Fold the lanes through the same FNV step so lane order matters, then finish with a
-  // SplitMix64-style avalanche: FNV's last pixel only weakly affects the high bits, and
-  // these hashes are compared raw (no downstream mixing).
-  uint64_t h = (((h0 ^ h1) * kPrime ^ h2) * kPrime ^ h3) * kPrime;
-  h ^= h >> 30;
-  h *= 0xbf58476d1ce4e5b9ull;
-  h ^= h >> 27;
-  h *= 0x94d049bb133111ebull;
-  h ^= h >> 31;
-  return h;
+  return Kernels().row_hash(row.data(), row.size());
 }
 
 }  // namespace slim

@@ -14,7 +14,10 @@
 //    5      Y4 / px    U2,V2 per 2x2 block  4 + 4/4   = 5      (4:2:0, quantized)
 //
 // Quantized components store the top bits of the 8-bit value and are expanded by bit
-// replication on decode. Conversion uses BT.601 studio-swing-free ("full range") constants.
+// replication on decode. RGB->YUV uses BT.601 studio-swing-free ("full range") constants
+// in 20-bit fixed point shared with the SIMD kernel layer (src/codec/kernels/), so the
+// conversion is bit-identical across kernel tiers and between the single-pixel and bulk
+// (FromPixels) paths.
 
 #ifndef SRC_COLOR_YUV_H_
 #define SRC_COLOR_YUV_H_

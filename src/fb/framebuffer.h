@@ -73,6 +73,14 @@ class Framebuffer {
     return {data_.data() + static_cast<size_t>(y) * width_ + x0, static_cast<size_t>(w)};
   }
 
+  // Writable row span with the same no-clipping contract as Row(). For bulk row writers
+  // that already hold a validated extent (the damage tracker's shadow sync memcpys fb
+  // rows straight in); everything else should go through SetPixels/Fill, which clip.
+  std::span<Pixel> MutableRow(int32_t y, int32_t x0, int32_t w) {
+    SLIM_DCHECK(y >= 0 && y < height_ && x0 >= 0 && w >= 0 && x0 + w <= width_);
+    return {data_.data() + static_cast<size_t>(y) * width_ + x0, static_cast<size_t>(w)};
+  }
+
   // FNV-1a hash of the full contents; used by tests to compare server/console state.
   uint64_t ContentHash() const;
 
