@@ -40,6 +40,7 @@ foreach(harness ${harnesses})
       SLIM_USERS=2 SLIM_MINUTES=1 SLIM_SECONDS=5 SLIM_SOAK_EVENTS=20
       SLIM_DP_FRAMES=6 SLIM_DP_REPS=3
       SLIM_CHURN_SESSIONS=2 SLIM_CHURN_CONSOLES=3 SLIM_CHURN_OPS=24
+      SLIM_MIG_REPS=2 SLIM_MIG_WIDTH=160 SLIM_MIG_HEIGHT=120
       SLIM_BENCH_DIR=${OUT_DIR}
       SLIM_TRACE=${OUT_DIR}/TRACE_${name}.json
       ${harness} ${extra_args}

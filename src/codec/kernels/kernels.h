@@ -109,6 +109,14 @@ const KernelOps* GetSse2Kernels();
 const KernelOps* GetAvx2Kernels();
 const KernelOps* GetNeonKernels();
 
+// The NEON tier's dispatch table regardless of the build ISA. The stub's bodies are all
+// scalar forwards, so the table itself runs anywhere; only GetNeonKernels() gates it out
+// of dispatch on non-ARM builds. Never returns nullptr. Exists so the parity matrix in
+// tests/kernels_test.cc exercises the NEON table (via ScopedKernelsForTest) on every CI
+// host instead of only on AArch64 — when the stub grows real vector bodies, this becomes
+// ARM-only again and the test falls back to skipping off-ISA (see GetNeonKernels()).
+const KernelOps* GetNeonKernelsForTest();
+
 }  // namespace slim
 
 #endif  // SRC_CODEC_KERNELS_KERNELS_H_

@@ -10,11 +10,11 @@
 #include "src/codec/kernels/kernels.h"
 #include "src/codec/kernels/kernels_internal.h"
 
-#if defined(__ARM_NEON) || defined(__ARM_NEON__)
-
 namespace slim {
 namespace {
 
+// Compiled on every ISA: the forwards are plain scalar calls, so the table needs no
+// NEON intrinsics. GetNeonKernels() below decides whether dispatch may pick it.
 const KernelOps kNeonKernels{
     KernelTier::kNeon,   RowHashScalar,      ScanColorsScalar,
     PackBitmapRowScalar, RowDiffSpanScalar,  RgbToYuvRowScalar,
@@ -22,14 +22,16 @@ const KernelOps kNeonKernels{
 
 }  // namespace
 
-const KernelOps* GetNeonKernels() { return &kNeonKernels; }
+const KernelOps* GetNeonKernelsForTest() { return &kNeonKernels; }
 
-}  // namespace slim
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+
+const KernelOps* GetNeonKernels() { return &kNeonKernels; }
 
 #else  // !__ARM_NEON
 
-namespace slim {
 const KernelOps* GetNeonKernels() { return nullptr; }
-}  // namespace slim
 
 #endif
+
+}  // namespace slim

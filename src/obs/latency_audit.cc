@@ -64,6 +64,9 @@ bool LatencyAudit::RegisterMetrics(MetricRegistry* registry, const std::string& 
   ok = registry->BindCounter(prefix + ".breaches", &breaches_) && ok;
   ok = registry->BindCounter(prefix + ".gave_up", &gave_up_) && ok;
   ok = registry->BindCounter(prefix + ".flight_dumps", &flight_dumps_) && ok;
+  ok = registry->BindCounter(prefix + ".migrations", &migrations_observed_) && ok;
+  migration_blackout_hist_ = registry->Histogram(prefix + ".migration_blackout_ns");
+  ok = ok && migration_blackout_hist_ != nullptr;
   e2e_hist_ = registry->Histogram(prefix + ".e2e_ns");
   ok = ok && e2e_hist_ != nullptr;
   for (int s = 0; s < kStageCount; ++s) {
@@ -255,6 +258,19 @@ void LatencyAudit::NoteForcedDetach(uint32_t session_id, int reason, SimTime now
                      {"reason", JsonValue(int64_t{reason})}});
   }
   DumpFlight(/*input_id=*/-1, kStageCount, "forced_detach", now, 0);
+}
+
+void LatencyAudit::NoteMigrationBlackout(uint32_t session_id, SimDuration blackout,
+                                         SimTime now) {
+  ++migrations_observed_;
+  if (migration_blackout_hist_ != nullptr) {
+    migration_blackout_hist_->Record(blackout);
+  }
+  if (Tracer* tracer = Tracer::Global()) {
+    tracer->Instant(now, "audit.migration_blackout", "audit", kTraceTidServer,
+                    {{"session", JsonValue(int64_t{session_id})},
+                     {"blackout_ns", JsonValue(int64_t{blackout})}});
+  }
 }
 
 void LatencyAudit::MaybeFinalize(int64_t input_id, OpenEvent& ev) {

@@ -83,6 +83,31 @@ void WriteBody(ByteWriter& w, const MessageBody& body) {
           w.U64(b.payload);
         } else if constexpr (std::is_same_v<T, SessionReleaseMsg>) {
           w.U8(static_cast<uint8_t>(b.reason));
+        } else if constexpr (std::is_same_v<T, CheckpointChunkMsg>) {
+          w.U64(b.epoch);
+          w.U32(b.round);
+          w.U32(b.index);
+          w.U32(b.count);
+          w.U64(b.offset);
+          w.Bytes(b.data);
+        } else if constexpr (std::is_same_v<T, MigrateBeginMsg>) {
+          w.U64(b.epoch);
+          w.U64(b.card_id);
+          w.U32(b.origin_session);
+          w.U32(b.round);
+          w.U8(static_cast<uint8_t>(b.purpose));
+          w.U32(b.chunk_count);
+          w.U64(b.total_bytes);
+        } else if constexpr (std::is_same_v<T, MigrateCommitMsg>) {
+          w.U64(b.epoch);
+          w.U32(b.round);
+          w.U8(b.phase);
+        } else if constexpr (std::is_same_v<T, MigrateAbortMsg>) {
+          w.U64(b.epoch);
+          w.U8(static_cast<uint8_t>(b.reason));
+        } else if constexpr (std::is_same_v<T, SeqSyncMsg>) {
+          w.U64(b.first_skipped_seq);
+          w.U64(b.first_valid_seq);
         }
       },
       body);
@@ -238,8 +263,89 @@ std::optional<MessageBody> ReadBody(MessageType type, ByteReader& r, size_t payl
         case 5:
           m.reason = ReleaseReason::kReplaced;
           break;
+        case 6:
+          m.reason = ReleaseReason::kMigrated;
+          break;
         default:
           return std::nullopt;
+      }
+      return MessageBody(m);
+    }
+    case MessageType::kCheckpointChunk: {
+      CheckpointChunkMsg m;
+      m.epoch = r.U64();
+      m.round = r.U32();
+      m.index = r.U32();
+      m.count = r.U32();
+      m.offset = r.U64();
+      if (payload_len < 28) {
+        return std::nullopt;
+      }
+      m.data = r.Bytes(payload_len - 28);
+      // A chunk that claims to sit outside its own round's chunk table is corrupt even if
+      // every byte read cleanly.
+      if (m.count == 0 || m.index >= m.count) {
+        return std::nullopt;
+      }
+      return MessageBody(std::move(m));
+    }
+    case MessageType::kMigrateBegin: {
+      MigrateBeginMsg m;
+      m.epoch = r.U64();
+      m.card_id = r.U64();
+      m.origin_session = r.U32();
+      m.round = r.U32();
+      switch (r.U8()) {
+        case 1:
+          m.purpose = MigratePurpose::kHandoff;
+          break;
+        case 2:
+          m.purpose = MigratePurpose::kStandby;
+          break;
+        default:
+          return std::nullopt;
+      }
+      m.chunk_count = r.U32();
+      m.total_bytes = r.U64();
+      return MessageBody(m);
+    }
+    case MessageType::kMigrateCommit: {
+      MigrateCommitMsg m;
+      m.epoch = r.U64();
+      m.round = r.U32();
+      m.phase = r.U8();
+      if (m.phase != 1 && m.phase != 2) {
+        return std::nullopt;
+      }
+      return MessageBody(m);
+    }
+    case MessageType::kMigrateAbort: {
+      MigrateAbortMsg m;
+      m.epoch = r.U64();
+      switch (r.U8()) {
+        case 1:
+          m.reason = MigrateAbortReason::kTimeout;
+          break;
+        case 2:
+          m.reason = MigrateAbortReason::kBadCheckpoint;
+          break;
+        case 3:
+          m.reason = MigrateAbortReason::kSuperseded;
+          break;
+        case 4:
+          m.reason = MigrateAbortReason::kShutdown;
+          break;
+        default:
+          return std::nullopt;
+      }
+      return MessageBody(m);
+    }
+    case MessageType::kSeqSync: {
+      SeqSyncMsg m;
+      m.first_skipped_seq = r.U64();
+      m.first_valid_seq = r.U64();
+      if (m.first_valid_seq < m.first_skipped_seq) {
+        return std::nullopt;
       }
       return MessageBody(m);
     }
@@ -285,9 +391,19 @@ MessageType TypeOfBody(const MessageBody& body) {
           return MessageType::kPing;
         } else if constexpr (std::is_same_v<T, PongMsg>) {
           return MessageType::kPong;
-        } else {
-          static_assert(std::is_same_v<T, SessionReleaseMsg>);
+        } else if constexpr (std::is_same_v<T, SessionReleaseMsg>) {
           return MessageType::kSessionRelease;
+        } else if constexpr (std::is_same_v<T, CheckpointChunkMsg>) {
+          return MessageType::kCheckpointChunk;
+        } else if constexpr (std::is_same_v<T, MigrateBeginMsg>) {
+          return MessageType::kMigrateBegin;
+        } else if constexpr (std::is_same_v<T, MigrateCommitMsg>) {
+          return MessageType::kMigrateCommit;
+        } else if constexpr (std::is_same_v<T, MigrateAbortMsg>) {
+          return MessageType::kMigrateAbort;
+        } else {
+          static_assert(std::is_same_v<T, SeqSyncMsg>);
+          return MessageType::kSeqSync;
         }
       },
       body);

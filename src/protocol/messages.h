@@ -39,6 +39,12 @@ enum class MessageType : uint8_t {
   kPing = 34,
   kPong = 35,
   kSessionRelease = 36,  // session left this console: blank and stop displaying
+  // Server <-> server (session checkpointing / migration, DESIGN.md §9).
+  kCheckpointChunk = 37,  // one bounded slice of a serialized session checkpoint
+  kMigrateBegin = 38,     // source -> destination: a checkpoint transfer is starting
+  kMigrateCommit = 39,    // two-phase commit handshake (phase 1 dest->src, phase 2 src->dest)
+  kMigrateAbort = 40,     // either side: this migration epoch is dead
+  kSeqSync = 41,          // sender's sequence stream jumped; seqs below the floor never existed
 };
 
 // Why a session's console binding ended; carried on SessionReleaseMsg so consoles and
@@ -49,6 +55,7 @@ enum class ReleaseReason : uint8_t {
   kLivenessTimeout = 3,  // the console stopped answering keepalive probes
   kEvicted = 4,          // idle-session eviction reclaimed the session
   kReplaced = 5,         // a different card was inserted at this console
+  kMigrated = 6,         // the session moved to another server in the pool
 };
 
 struct KeyEventMsg {
@@ -135,11 +142,88 @@ struct SessionReleaseMsg {
   bool operator==(const SessionReleaseMsg&) const = default;
 };
 
+// --- Server <-> server migration messages (DESIGN.md §9) ---
+// A migration attempt is identified by an epoch (globally unique: the source node id in
+// the high bits). The bulk state travels as CheckpointChunk slices; Begin/Commit/Abort
+// carry the two-phase-commit control flow. All four are idempotent and safe to replay,
+// like every other SLIM message.
+
+// Why a checkpoint transfer is happening; carried on MigrateBeginMsg.
+enum class MigratePurpose : uint8_t {
+  kHandoff = 1,  // cross-server hotdesk pull: two-phase commit transfers ownership
+  kStandby = 2,  // periodic warm-standby replication: stored, never acked or committed
+};
+
+// Why a migration epoch died; carried on MigrateAbortMsg.
+enum class MigrateAbortReason : uint8_t {
+  kTimeout = 1,        // the other side went silent past the retry budget
+  kBadCheckpoint = 2,  // the reassembled blob failed to decode
+  kSuperseded = 3,     // a newer epoch/round for the same session replaced this one
+  kShutdown = 4,       // the sending server is going away
+};
+
+// Source -> destination: announces (or, on retry, refreshes) one round of a checkpoint
+// transfer. Re-sending it is the source's liveness poke: the fresh transport seq exposes
+// any chunk gaps to the receiver's NACK machinery.
+struct MigrateBeginMsg {
+  uint64_t epoch = 0;
+  uint64_t card_id = 0;        // the smart card whose session is moving
+  uint32_t origin_session = 0; // the session id on the source server (audit only)
+  uint32_t round = 0;          // pre-copy round; a higher round supersedes a lower one
+  MigratePurpose purpose = MigratePurpose::kHandoff;
+  uint32_t chunk_count = 0;
+  uint64_t total_bytes = 0;    // size of the serialized checkpoint blob
+  bool operator==(const MigrateBeginMsg&) const = default;
+};
+
+// One bounded slice of the checkpoint blob for (epoch, round).
+struct CheckpointChunkMsg {
+  uint64_t epoch = 0;
+  uint32_t round = 0;
+  uint32_t index = 0;   // 0-based chunk number
+  uint32_t count = 0;   // total chunks in this round
+  uint64_t offset = 0;  // byte offset of `data` within the blob
+  std::vector<uint8_t> data;
+  bool operator==(const CheckpointChunkMsg&) const = default;
+};
+
+// The commit handshake. Phase 1 (destination -> source): the blob decoded and the session
+// is staged, ready to own. Phase 2 (source -> destination): the source released its copy;
+// the destination is now the single owner and may go live.
+struct MigrateCommitMsg {
+  uint64_t epoch = 0;
+  uint32_t round = 0;
+  uint8_t phase = 1;  // 1 = restored, 2 = committed
+  bool operator==(const MigrateCommitMsg&) const = default;
+};
+
+struct MigrateAbortMsg {
+  uint64_t epoch = 0;
+  MigrateAbortReason reason = MigrateAbortReason::kTimeout;
+  bool operator==(const MigrateAbortMsg&) const = default;
+};
+
+// Unsequenced (seq 0), either direction: the sender's sequence stream toward this peer
+// jumped forward — a migrated session raised the send-seq floor past numbers that were
+// never put on the wire (EnsureSendSeqAtLeast). Without this notice the receiver would
+// book every skipped seq as a loss and burn its NACK budget on messages that cannot be
+// replayed, starving repair of the real gaps. On receipt, seqs below `first_valid_seq`
+// stop being treated as missing. Replayed on demand: a NACK asking for sub-floor seqs
+// provokes a fresh copy, so losing the notice itself is harmless.
+// The bounds are exact so pre-jump losses stay repairable: only [first_skipped_seq,
+// first_valid_seq) is excused; anything older was really sent and can still be NACKed.
+struct SeqSyncMsg {
+  uint64_t first_skipped_seq = 0;  // first seq that was never emitted
+  uint64_t first_valid_seq = 0;    // next seq that will actually appear on the wire
+  bool operator==(const SeqSyncMsg&) const = default;
+};
+
 using MessageBody =
     std::variant<SetCommand, BitmapCommand, FillCommand, CopyCommand, CscsCommand, KeyEventMsg,
                  MouseEventMsg, StatusMsg, NackMsg, SessionAttachMsg, SessionDetachMsg,
                  BandwidthRequestMsg, BandwidthGrantMsg, AudioMsg, PingMsg, PongMsg,
-                 SessionReleaseMsg>;
+                 SessionReleaseMsg, CheckpointChunkMsg, MigrateBeginMsg, MigrateCommitMsg,
+                 MigrateAbortMsg, SeqSyncMsg>;
 
 struct Message {
   uint32_t session_id = 0;

@@ -30,6 +30,7 @@
 namespace slim {
 
 class MetricRegistry;
+struct SessionCheckpoint;
 
 // A 1-bit glyph image; the apps toolkit supplies these from its font.
 struct GlyphBitmap {
@@ -150,6 +151,19 @@ class ServerSession {
   // counters (`<prefix>.codec.<type>.*`) with `registry`. Returns false if any name was
   // rejected (duplicate prefix).
   bool RegisterMetrics(MetricRegistry* registry, const std::string& prefix = "session");
+
+  // --- Checkpointing (src/server/checkpoint.{h,cc}) ---
+  // Fills `out` with this session's complete serializable state: framebuffer bits, the
+  // damage tracker's shadow + row hashes, pending damage, pacing/grant state, and the
+  // accounting watermarks. Identity beyond the session id (card, lifecycle state, the
+  // console seq watermark) is the server's knowledge and is filled in by the caller.
+  // Staged video is deliberately not captured — it never touched session state, and the
+  // paper's drop-stale-frames rule makes losing it the correct behavior.
+  void CaptureCheckpoint(SessionCheckpoint* out) const;
+  // Overwrites this session's state from a decoded checkpoint. The session must be
+  // detached and its geometry must match the checkpoint's (checked): the restoring
+  // server constructs the session from the checkpoint's width/height first.
+  void RestoreFromCheckpoint(const SessionCheckpoint& ckpt);
 
  private:
   void QueueCommand(DisplayCommand cmd);

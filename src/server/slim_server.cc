@@ -7,6 +7,8 @@
 #include "src/codec/parallel.h"
 #include "src/obs/latency_audit.h"
 #include "src/obs/metrics.h"
+#include "src/server/checkpoint.h"
+#include "src/server/migration.h"
 #include "src/util/check.h"
 
 namespace slim {
@@ -88,6 +90,77 @@ SlimServer::SlimServer(Simulator* sim, Fabric* fabric, ServerOptions options)
   endpoint_->set_handler([this](const Message& msg, NodeId from) { OnMessage(msg, from); });
   tx_ = std::make_unique<TransmitQueue>(sim_, endpoint_.get(), options_.model_cpu_delay);
 }
+
+SlimServer::~SlimServer() = default;
+
+MigrationManager& SlimServer::EnableMigration(ServerPool& pool,
+                                              const MigrationOptions& options) {
+  SLIM_CHECK(migration_ == nullptr);
+  migration_ = std::make_unique<MigrationManager>(this, &pool, options);
+  pool.Register(this, migration_.get());
+  return *migration_;
+}
+
+std::unique_ptr<ServerSession> SlimServer::BuildStagedSession(const SessionCheckpoint& ckpt) {
+  const uint32_t id = next_session_id_++;
+  auto session =
+      std::make_unique<ServerSession>(this, id, ckpt.width, ckpt.height, options_.encoder);
+  session->RestoreFromCheckpoint(ckpt);
+  return session;
+}
+
+ServerSession& SlimServer::InstallSession(uint64_t card_id,
+                                          std::unique_ptr<ServerSession> session) {
+  SLIM_CHECK(session != nullptr && !session->attached());
+  const auto existing = card_to_session_.find(card_id);
+  if (existing != card_to_session_.end()) {
+    // Same rule as CreateSession: one card, one session. (Reaching here means a local
+    // session raced the migration — the installed copy is the owning one.)
+    const uint32_t old_id = existing->second;
+    if (ServerSession* old = FindSession(old_id)) {
+      DetachSession(*old, ReleaseReason::kEvicted);
+      EvictSession(old_id);
+    } else {
+      card_to_session_.erase(existing);
+    }
+  }
+  const uint32_t id = session->id();
+  ServerSession& ref = *session;
+  sessions_[id] = std::move(session);
+  card_to_session_[card_id] = id;
+  Lifecycle lc;
+  lc.card_id = card_id;
+  lc.last_heard = sim_->now();
+  lifecycle_[id] = lc;
+  ScheduleEviction(id);
+  return ref;
+}
+
+void SlimServer::DiscardSession(uint32_t session_id) {
+  const auto it = lifecycle_.find(session_id);
+  if (it == lifecycle_.end()) {
+    return;
+  }
+  Lifecycle& lc = it->second;
+  SLIM_CHECK(lc.state == SessionState::kDetached);
+  if (lc.probe_event != kInvalidEventId) {
+    sim_->Cancel(lc.probe_event);
+  }
+  if (lc.evict_event != kInvalidEventId) {
+    sim_->Cancel(lc.evict_event);
+  }
+  const auto card = card_to_session_.find(lc.card_id);
+  if (card != card_to_session_.end() && card->second == session_id) {
+    card_to_session_.erase(card);
+  }
+  if (options_.pacing.enabled) {
+    ResetSessionPacing(session_id);
+  }
+  lifecycle_.erase(it);
+  sessions_.erase(session_id);
+}
+
+void SlimServer::Kill() { endpoint_->set_dead(true); }
 
 ServerSession& SlimServer::CreateSession(uint64_t card_id) {
   const auto existing = card_to_session_.find(card_id);
@@ -216,6 +289,9 @@ bool SlimServer::RegisterMetrics(MetricRegistry* registry, const std::string& pr
   ok = registry->BindCounter(pp + ".coalesced_flushes", &pacing_stats_.coalesced_flushes) &&
        ok;
   ok = tx_->RegisterMetrics(registry, prefix + ".txq") && ok;
+  if (migration_ != nullptr) {
+    ok = migration_->RegisterMetrics(registry, prefix) && ok;
+  }
   return endpoint_->RegisterMetrics(registry, prefix + ".transport") && ok;
 }
 
@@ -251,6 +327,25 @@ void SlimServer::OnMessage(const Message& msg, NodeId from) {
     ApplyGrant(*grant);
     return;
   }
+  if (migration_ != nullptr) {
+    // Server <-> server traffic (DESIGN.md §9); ignored entirely by pool-less servers.
+    if (const auto* begin = std::get_if<MigrateBeginMsg>(&msg.body)) {
+      migration_->OnMigrateBegin(*begin, from);
+      return;
+    }
+    if (const auto* chunk = std::get_if<CheckpointChunkMsg>(&msg.body)) {
+      migration_->OnCheckpointChunk(*chunk, from);
+      return;
+    }
+    if (const auto* commit = std::get_if<MigrateCommitMsg>(&msg.body)) {
+      migration_->OnMigrateCommit(*commit, from);
+      return;
+    }
+    if (const auto* abort = std::get_if<MigrateAbortMsg>(&msg.body)) {
+      migration_->OnMigrateAbort(*abort, from);
+      return;
+    }
+  }
   // Status / audio / pongs from consoles need no further action (the pong's job —
   // liveness — was done by NoteConsoleAlive above).
 }
@@ -260,8 +355,20 @@ void SlimServer::HandleAttach(uint64_t card_id, NodeId from) {
     return;  // Unknown card: the screen stays dark.
   }
   ServerSession* session = SessionForCard(card_id);
+  if (session == nullptr && migration_ != nullptr) {
+    // The card may live on another server in the pool: pull it (attach completes when the
+    // migrated session installs) or restore it from the warm store if the owner is dead.
+    MigrationManager::AdoptResult adopted = migration_->AdoptCard(card_id, from);
+    if (adopted.pending) {
+      return;
+    }
+    session = adopted.session;
+  }
   if (session == nullptr) {
     session = &CreateSession(card_id);
+    if (migration_ != nullptr) {
+      migration_->NoteLocalSession(card_id);
+    }
   }
   Lifecycle& lc = lifecycle_.at(session->id());
   if (lc.state == SessionState::kAttached && session->console() != from) {
@@ -312,6 +419,11 @@ void SlimServer::AttachSessionToConsole(ServerSession& session, NodeId console) 
     // Ask the console's allocator for this session's flows before the repaint enters the
     // pipeline, so the grants are usually in force by the time steady-state traffic flows.
     RequestSessionBandwidth(session, console);
+  }
+  if (migration_ != nullptr) {
+    // Before the repaint's first send: raise the seq floor for a migrated session and
+    // close the blackout clock if one is running for this card.
+    migration_->OnSessionAttached(lc.card_id, session.id(), console);
   }
   // ForceRepaintAll + Flush: the console's framebuffer is soft state and starts black.
   session.AttachConsole(console);

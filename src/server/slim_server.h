@@ -28,6 +28,10 @@
 namespace slim {
 
 class MetricRegistry;
+class MigrationManager;
+class ServerPool;
+struct MigrationOptions;
+struct SessionCheckpoint;
 
 // Verifies smart-card identities. Cards must be registered before they authenticate; the
 // check is a keyed hash so that forged ids are rejected (a stand-in for the product's
@@ -140,6 +144,7 @@ struct LifecycleStats {
 class SlimServer {
  public:
   SlimServer(Simulator* sim, Fabric* fabric, ServerOptions options = {});
+  ~SlimServer();
 
   NodeId node() const { return endpoint_->node(); }
   Simulator* simulator() { return sim_; }
@@ -184,6 +189,26 @@ class SlimServer {
   // fire time, so a retry can never dangle past an eviction).
   void SchedulePaceRetry(uint32_t session_id, SimTime at);
 
+  // --- Server pool / migration (src/server/migration.h, DESIGN.md §9) ---
+  // Joins `pool` and enables the migration protocol on this server. Call at most once.
+  MigrationManager& EnableMigration(ServerPool& pool, const MigrationOptions& options);
+  MigrationManager* migration() { return migration_.get(); }
+
+  // Constructs an unregistered session restored from `ckpt` (fresh local id, checkpoint
+  // geometry). It joins the directory only via InstallSession — the single-owner
+  // invariant's staging step.
+  std::unique_ptr<ServerSession> BuildStagedSession(const SessionCheckpoint& ckpt);
+  // Registers a staged session under `card_id` (directory entry, card mapping, idle
+  // eviction armed). Any session the card was previously bound to is reclaimed first.
+  ServerSession& InstallSession(uint64_t card_id, std::unique_ptr<ServerSession> session);
+  // Destroys a detached session after its ownership moved to another server: directory
+  // entry, card mapping and session object go, but — unlike EvictSession — it is not
+  // counted as an eviction (the session lives on elsewhere).
+  void DiscardSession(uint32_t session_id);
+
+  // Crash fault injection (ServerPool::KillServer): the endpoint goes deaf and mute.
+  void Kill();
+
   // Registers the server's daemons and transport endpoint with `registry`:
   // `<prefix>.auth.*`, `<prefix>.sessions` / `<prefix>.cards` / `<prefix>.devices` gauges,
   // `<prefix>.lifecycle.*` counters, `<prefix>.txq.*`, and `<prefix>.transport.*`.
@@ -191,6 +216,10 @@ class SlimServer {
   bool RegisterMetrics(MetricRegistry* registry, const std::string& prefix = "server");
 
  private:
+  // The migration manager reaches into the attach machinery (AttachSessionToConsole for
+  // installed sessions' waiting consoles, the transmit queue for bulk-transfer pacing).
+  friend class MigrationManager;
+
   // Per-session lifecycle record: the directory entry tying a session to its card, its
   // state-machine state, and the liveness/eviction timers.
   struct Lifecycle {
@@ -248,6 +277,9 @@ class SlimServer {
   std::map<NodeId, std::vector<EventId>> pending_releases_;
   LifecycleStats lifecycle_stats_;
   PacingStats pacing_stats_;
+  // Present only after EnableMigration; every migration code path is behind a null check,
+  // so a pool-less server is byte-for-byte the pre-migration behavior.
+  std::unique_ptr<MigrationManager> migration_;
   uint32_t next_session_id_ = 1;
 };
 

@@ -38,6 +38,12 @@ std::vector<const KernelOps*> AllTiers() {
       tiers.push_back(ops);
     }
   }
+  // The NEON stub's bodies are scalar forwards, so the table runs on any host even when
+  // dispatch gates it out of KernelsForTier (non-ARM builds). Fold it into the matrix so
+  // the fallback table is exercised by every CI run, not only AArch64 ones.
+  if (KernelsForTier(KernelTier::kNeon) == nullptr) {
+    tiers.push_back(GetNeonKernelsForTest());
+  }
   return tiers;
 }
 
@@ -71,6 +77,17 @@ TEST(KernelsTest, TierNamesRoundTrip) {
 TEST(KernelsTest, ScalarTierAlwaysAvailable) {
   ASSERT_NE(KernelsForTier(KernelTier::kScalar), nullptr);
   EXPECT_EQ(KernelsForTier(KernelTier::kScalar)->tier, KernelTier::kScalar);
+}
+
+// The NEON stub table must be installable on ANY host: its bodies forward to scalar, so
+// only the dispatch gate (GetNeonKernels) is ISA-dependent. This is what lets the parity
+// matrix below cover the ARM fallback path on x86 CI instead of leaving it dead code.
+TEST(KernelsTest, NeonStubInstallsViaScopedOverride) {
+  const KernelOps* neon = GetNeonKernelsForTest();
+  ASSERT_NE(neon, nullptr);
+  EXPECT_EQ(neon->tier, KernelTier::kNeon);
+  ScopedKernelsForTest forced(neon);
+  EXPECT_EQ(Kernels().tier, KernelTier::kNeon);
 }
 
 // When ctest forces a tier via SLIM_KERNELS, dispatch must have landed on it — that is

@@ -4,6 +4,7 @@
 
 #include "src/protocol/messages.h"
 #include "src/protocol/wire.h"
+#include "src/server/checkpoint.h"
 #include "src/util/rng.h"
 
 namespace slim {
@@ -141,10 +142,134 @@ TEST(MessageTest, InputAndControlRoundTrips) {
 TEST(MessageTest, SessionReleaseRoundTripsEveryReason) {
   for (const ReleaseReason reason :
        {ReleaseReason::kHotdesk, ReleaseReason::kCardRemoved, ReleaseReason::kLivenessTimeout,
-        ReleaseReason::kEvicted, ReleaseReason::kReplaced}) {
+        ReleaseReason::kEvicted, ReleaseReason::kReplaced, ReleaseReason::kMigrated}) {
     const Message back = RoundTrip(Message{1, 9, SessionReleaseMsg{reason}});
     EXPECT_EQ(std::get<SessionReleaseMsg>(back.body), (SessionReleaseMsg{reason}));
     EXPECT_EQ(TypeOfMessage(back), MessageType::kSessionRelease);
+  }
+}
+
+// --- Server<->server migration messages (DESIGN.md §9) ---
+
+TEST(MessageTest, MigrationMessagesRoundTrip) {
+  CheckpointChunkMsg chunk;
+  chunk.epoch = (7ull << 40) | 3;
+  chunk.round = 2;
+  chunk.index = 4;
+  chunk.count = 9;
+  chunk.offset = 4 * 16384;
+  chunk.data.assign(16384, 0x5a);
+  const Message chunk_back = RoundTrip(Message{0, 11, chunk});
+  EXPECT_EQ(std::get<CheckpointChunkMsg>(chunk_back.body), chunk);
+  EXPECT_EQ(TypeOfMessage(chunk_back), MessageType::kCheckpointChunk);
+
+  for (const MigratePurpose purpose :
+       {MigratePurpose::kHandoff, MigratePurpose::kStandby}) {
+    const MigrateBeginMsg begin{(7ull << 40) | 3, 0xcafe, 42, 2, purpose, 9, 145000};
+    const Message back = RoundTrip(Message{0, 12, begin});
+    EXPECT_EQ(std::get<MigrateBeginMsg>(back.body), begin);
+    EXPECT_EQ(TypeOfMessage(back), MessageType::kMigrateBegin);
+  }
+
+  for (const uint8_t phase : {uint8_t{1}, uint8_t{2}}) {
+    const MigrateCommitMsg commit{(7ull << 40) | 3, 2, phase};
+    const Message back = RoundTrip(Message{0, 13, commit});
+    EXPECT_EQ(std::get<MigrateCommitMsg>(back.body), commit);
+    EXPECT_EQ(TypeOfMessage(back), MessageType::kMigrateCommit);
+  }
+
+  for (const MigrateAbortReason reason :
+       {MigrateAbortReason::kTimeout, MigrateAbortReason::kBadCheckpoint,
+        MigrateAbortReason::kSuperseded, MigrateAbortReason::kShutdown}) {
+    const MigrateAbortMsg abort{(7ull << 40) | 3, reason};
+    const Message back = RoundTrip(Message{0, 14, abort});
+    EXPECT_EQ(std::get<MigrateAbortMsg>(back.body), abort);
+    EXPECT_EQ(TypeOfMessage(back), MessageType::kMigrateAbort);
+  }
+
+  const SeqSyncMsg sync{100, 5000};
+  const Message sync_back = RoundTrip(Message{0, 0, sync});
+  EXPECT_EQ(std::get<SeqSyncMsg>(sync_back.body), sync);
+  EXPECT_EQ(TypeOfMessage(sync_back), MessageType::kSeqSync);
+}
+
+// Every prefix truncation of each migration message must parse as nullopt, never crash —
+// the transport feeds reassembled bytes straight into ParseMessage, so a fabric that
+// truncates a datagram inside the payload must land in a counted reject.
+TEST(MessageTest, MigrationMessagesRejectTruncatedPayload) {
+  CheckpointChunkMsg chunk;
+  chunk.epoch = 1;
+  chunk.count = 2;
+  chunk.data.assign(64, 0xab);
+  const std::vector<Message> msgs{
+      Message{0, 11, chunk},
+      Message{0, 12, MigrateBeginMsg{1, 2, 3, 0, MigratePurpose::kHandoff, 4, 5}},
+      Message{0, 13, MigrateCommitMsg{1, 0, 1}},
+      Message{0, 14, MigrateAbortMsg{1, MigrateAbortReason::kTimeout}},
+      Message{0, 0, SeqSyncMsg{10, 20}},
+  };
+  for (const Message& msg : msgs) {
+    const auto bytes = SerializeMessage(msg);
+    for (size_t len = 0; len < bytes.size(); ++len) {
+      const std::vector<uint8_t> cut(bytes.begin(), bytes.begin() + len);
+      EXPECT_FALSE(ParseMessage(cut).has_value())
+          << "type " << static_cast<int>(TypeOfMessage(msg)) << " len " << len;
+    }
+  }
+}
+
+// Out-of-range enum bytes and impossible field combinations are corruption, not data.
+TEST(MessageTest, MigrationMessagesRejectBadFieldValues) {
+  // MigrateBegin purpose byte sits after header (20) + epoch/card (16) + session/round (8).
+  auto begin = SerializeMessage(
+      Message{0, 1, MigrateBeginMsg{1, 2, 3, 0, MigratePurpose::kHandoff, 4, 5}});
+  begin[20 + 16 + 8] = 99;
+  EXPECT_FALSE(ParseMessage(begin).has_value());
+
+  // MigrateCommit phase byte sits after header + epoch (8) + round (4).
+  auto commit = SerializeMessage(Message{0, 1, MigrateCommitMsg{1, 0, 1}});
+  commit[20 + 8 + 4] = 3;
+  EXPECT_FALSE(ParseMessage(commit).has_value());
+
+  // MigrateAbort reason byte sits right after the epoch.
+  auto abort = SerializeMessage(Message{0, 1, MigrateAbortMsg{1, MigrateAbortReason::kTimeout}});
+  abort[20 + 8] = 0;
+  EXPECT_FALSE(ParseMessage(abort).has_value());
+
+  // A chunk indexed at or past its own count cannot belong to any round.
+  CheckpointChunkMsg chunk;
+  chunk.count = 2;
+  chunk.index = 2;
+  chunk.data.assign(8, 0);
+  EXPECT_FALSE(ParseMessage(SerializeMessage(Message{0, 1, chunk})).has_value());
+
+  // A seq-sync whose floor precedes its own skip start excuses a negative range.
+  EXPECT_FALSE(ParseMessage(SerializeMessage(Message{0, 0, SeqSyncMsg{20, 10}})).has_value());
+}
+
+// The checkpoint blob envelope (magic, version, body length) is protocol surface too:
+// the chunks reassembled by migration are fed straight into DecodeCheckpoint, so a blob
+// from a future format version must be rejected whole, never half-parsed.
+TEST(CheckpointEnvelopeTest, RejectsVersionMismatchAndTruncation) {
+  SessionCheckpoint ckpt;
+  ckpt.card_id = 0xcafe;
+  ckpt.width = 2;
+  ckpt.height = 2;
+  ckpt.fb_pixels.assign(4, 0x123456);
+  const std::vector<uint8_t> blob = EncodeCheckpoint(ckpt);
+  ASSERT_EQ(DecodeCheckpoint(blob), ckpt);
+
+  std::vector<uint8_t> bad_version = blob;
+  bad_version[4] = static_cast<uint8_t>(kCheckpointVersion + 1);
+  EXPECT_FALSE(DecodeCheckpoint(bad_version).has_value());
+
+  std::vector<uint8_t> bad_magic = blob;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(DecodeCheckpoint(bad_magic).has_value());
+
+  for (size_t len = 0; len < blob.size(); ++len) {
+    const std::vector<uint8_t> cut(blob.begin(), blob.begin() + len);
+    EXPECT_FALSE(DecodeCheckpoint(cut).has_value()) << len;
   }
 }
 

@@ -11,7 +11,8 @@
 //   slimtop -f /tmp/soak.jsonl
 //
 // The dashboard is harness-agnostic: sections appear when their metrics exist in the
-// stream (session.latency.*, *.txq.*, *.transport.*, fabric.fault.*, console.*), so any
+// stream (session.latency.*, *.txq.*, *.transport.*, *.migration.*, fabric.fault.*,
+// console.*), so any
 // bench harness that registers the standard subsystems gets a sensible display for free.
 
 #include <unistd.h>
@@ -155,6 +156,66 @@ void RenderLatency(const Sample& s) {
   }
 }
 
+// Server-farm view (DESIGN.md §9): one row per server prefix that registered migration
+// metrics, with its checkpoint traffic and the blackout clock, plus a placement line
+// showing which server currently holds how many sessions. Appears only when the stream
+// carries *.migration.* counters, like every other section.
+void RenderMigration(const Sample& s) {
+  // Collect the registration prefixes ("server", "server_b", ...) that have migration
+  // counters in this sample.
+  std::vector<std::string> prefixes;
+  for (const auto& [name, value] : s.counters) {
+    const size_t at = name.find(".migration.");
+    if (at == std::string::npos) {
+      continue;
+    }
+    const std::string prefix = name.substr(0, at);
+    if (prefixes.empty() || prefixes.back() != prefix) {
+      prefixes.push_back(prefix);
+    }
+  }
+  if (prefixes.empty()) {
+    return;
+  }
+  const auto counter = [&](const std::string& name) -> int64_t {
+    const auto it = s.counters.find(name);
+    return it == s.counters.end() ? 0 : it->second;
+  };
+  for (const std::string& p : prefixes) {
+    const std::string m = p + ".migration.";
+    const std::string c = p + ".checkpoint.";
+    std::printf(
+        "migrate   %-10s started %-4lld committed %-4lld aborted %-4lld installs %-4lld "
+        "adoptions %-3lld pulls %-4lld retries %lld\n",
+        p.c_str(), static_cast<long long>(counter(m + "started")),
+        static_cast<long long>(counter(m + "committed")),
+        static_cast<long long>(counter(m + "aborted")),
+        static_cast<long long>(counter(m + "installs")),
+        static_cast<long long>(counter(m + "adoptions")),
+        static_cast<long long>(counter(m + "pulls_requested")),
+        static_cast<long long>(counter(m + "retries")));
+    std::printf(
+        "          %-10s ckpt %lld/%.1fKB restores %-4lld decode_fail %-3lld standby %lld/%lld "
+        "failover %-3lld blackout %.1f/%.1fms\n",
+        "", static_cast<long long>(counter(c + "captures")),
+        static_cast<double>(counter(c + "capture_bytes")) / 1024.0,
+        static_cast<long long>(counter(c + "restores")),
+        static_cast<long long>(counter(c + "decode_failures")),
+        static_cast<long long>(counter(m + "standby_sent")),
+        static_cast<long long>(counter(m + "standby_stored")),
+        static_cast<long long>(counter(m + "failover_restores")),
+        Ms(counter(m + "blackout_last_ns")), Ms(counter(m + "blackout_total_ns")));
+  }
+  // Placement: the per-server session-count gauges, side by side. Zero-session servers
+  // are shown too — an empty server is exactly what a migration just produced.
+  std::printf("placement ");
+  for (const std::string& p : prefixes) {
+    const auto it = s.gauges.find(p + ".sessions");
+    std::printf("%s %.0f  ", p.c_str(), it == s.gauges.end() ? 0.0 : it->second);
+  }
+  std::printf("\n");
+}
+
 void RenderGauges(const Sample& s) {
   bool any = false;
   for (const auto& [name, value] : s.gauges) {
@@ -225,6 +286,7 @@ void Render(const Sample& cur, const Sample* prev, bool clear) {
   std::printf("slimtop — sample %lld  t=%.3fs\n", static_cast<long long>(cur.index),
               slim::ToSeconds(cur.t_ns));
   RenderLatency(cur);
+  RenderMigration(cur);
   RenderGauges(cur);
   RenderDeltas(cur, prev);
   std::fflush(stdout);
